@@ -1,0 +1,57 @@
+//! Criterion benchmarks of simulator throughput under the design options
+//! DESIGN.md flags for ablation: the *performance results* of these options
+//! come from the `ablation` binary; these benchmarks track the simulation
+//! cost each option adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbc_core::{Benchmark, SimBuilder};
+use hbc_mem::PortModel;
+
+fn quick(b: Benchmark) -> SimBuilder {
+    SimBuilder::new(b).instructions(3_000).warmup(500).cache_warm(100_000)
+}
+
+fn bench_port_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("port_models");
+    g.sample_size(10);
+    for (name, ports) in [
+        ("ideal2", PortModel::Ideal(2)),
+        ("banked8", PortModel::Banked(8)),
+        ("banked128", PortModel::Banked(128)),
+        ("duplicate", PortModel::Duplicate),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(quick(Benchmark::Gcc).ports(ports).run().ipc()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_line_buffer_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_buffer_cost");
+    g.sample_size(10);
+    g.bench_function("without", |b| {
+        b.iter(|| black_box(quick(Benchmark::Tomcatv).hit_cycles(2).run().ipc()))
+    });
+    g.bench_function("with", |b| {
+        b.iter(|| black_box(quick(Benchmark::Tomcatv).hit_cycles(2).line_buffer(true).run().ipc()))
+    });
+    g.finish();
+}
+
+fn bench_dram_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_mode");
+    g.sample_size(10);
+    g.bench_function("sram_l2", |b| {
+        b.iter(|| black_box(quick(Benchmark::Database).run().ipc()))
+    });
+    g.bench_function("dram_cache", |b| {
+        b.iter(|| black_box(quick(Benchmark::Database).dram_cache(6).run().ipc()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_port_models, bench_line_buffer_cost, bench_dram_mode);
+criterion_main!(benches);

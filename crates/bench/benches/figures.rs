@@ -1,0 +1,58 @@
+//! Criterion benchmarks of whole experiment drivers (reduced fidelity):
+//! `cargo bench` exercises the same code paths that regenerate every paper
+//! table and figure. Absolute wall time per driver is the metric; the
+//! figure *contents* come from the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbc_core::experiments::{fig1, fig3, fig4, fig6, fig7, fig9, table1, table2, ExpParams};
+use hbc_core::{Benchmark, SimBuilder};
+
+/// Very small windows so `cargo bench` stays tractable on one core.
+fn tiny() -> ExpParams {
+    let mut p = ExpParams::fast();
+    p.instructions = 3_000;
+    p.warmup = 500;
+    p.cache_warm = 100_000;
+    p.benchmarks = vec![Benchmark::Gcc];
+    p
+}
+
+fn bench_single_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    for b in Benchmark::REPRESENTATIVES {
+        g.bench_function(b.name(), |bench| {
+            bench.iter(|| {
+                black_box(
+                    SimBuilder::new(b)
+                        .instructions(3_000)
+                        .warmup(500)
+                        .cache_warm(100_000)
+                        .run()
+                        .ipc(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1", |b| b.iter(|| black_box(fig1::run())));
+    g.bench_function("table1", |b| b.iter(|| black_box(table1::run())));
+    let p = tiny();
+    g.bench_function("table2", |b| b.iter(|| black_box(table2::run(&p))));
+    g.bench_function("fig3", |b| b.iter(|| black_box(fig3::run(&p))));
+    g.bench_function("fig4", |b| b.iter(|| black_box(fig4::run(&p))));
+    g.bench_function("fig6", |b| b.iter(|| black_box(fig6::run(&p))));
+    g.bench_function("fig7", |b| b.iter(|| black_box(fig7::run(&p))));
+    g.bench_function("fig9", |b| b.iter(|| black_box(fig9::run(&p))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_sim, bench_figures);
+criterion_main!(benches);

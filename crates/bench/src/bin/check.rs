@@ -1,0 +1,125 @@
+//! Verifies the paper's headline qualitative claims against the simulator
+//! and prints a PASS/FAIL report — a one-command regression check for the
+//! whole reproduction (the same claims the integration tests assert, at the
+//! chosen fidelity).
+//!
+//! ```text
+//! cargo run --release -p hbc-bench --bin check [--fast|--full]
+//! ```
+
+use hbc_core::Benchmark;
+use hbc_mem::PortModel;
+
+struct Claim {
+    name: &'static str,
+    paper: &'static str,
+    measured: String,
+    pass: bool,
+}
+
+fn main() {
+    let params = hbc_bench::params_from_args();
+    let sim = |b: Benchmark| params.sim(b);
+    let ipc = |b: Benchmark, kib: u64, ports: PortModel, hit: u64, lb: bool| {
+        sim(b).cache_size_kib(kib).ports(ports).hit_cycles(hit).line_buffer(lb).run().ipc()
+    };
+    let avg = |f: &dyn Fn(Benchmark) -> f64| {
+        params.benchmarks.iter().map(|&b| f(b)).sum::<f64>() / params.benchmarks.len() as f64
+    };
+
+    let mut claims = Vec::new();
+
+    // Claim: diminishing returns beyond two ideal ports.
+    let p1 = avg(&|b| ipc(b, 32, PortModel::Ideal(1), 1, false));
+    let p2 = avg(&|b| ipc(b, 32, PortModel::Ideal(2), 1, false));
+    let p4 = avg(&|b| ipc(b, 32, PortModel::Ideal(4), 1, false));
+    claims.push(Claim {
+        name: "ports: 2 help, 4 do not",
+        paper: "+25% for 1->2, +1% for 3->4",
+        measured: format!(
+            "{:+.1}% for 1->2, {:+.1}% for 2->4",
+            100.0 * (p2 / p1 - 1.0),
+            100.0 * (p4 / p2 - 1.0)
+        ),
+        pass: p2 > p1 * 1.01 && (p4 - p2) < 0.5 * (p2 - p1),
+    });
+
+    // Claim: pipelining hurts integer codes much more than fp codes.
+    let loss = |b: Benchmark| {
+        let base = ipc(b, 32, PortModel::Ideal(2), 1, false);
+        (base - ipc(b, 32, PortModel::Ideal(2), 3, false)) / base
+    };
+    let gcc_loss = loss(Benchmark::Gcc);
+    let fp_loss = loss(Benchmark::Tomcatv);
+    claims.push(Claim {
+        name: "pipelining: int >> fp loss",
+        paper: "gcc -18%/-15% per stage, tomcatv -3%/-3%",
+        measured: format!("gcc -{:.1}%, tomcatv -{:.1}% (1~ -> 3~)", 100.0 * gcc_loss, 100.0 * fp_loss),
+        pass: gcc_loss > 0.08 && fp_loss < 0.6 * gcc_loss,
+    });
+
+    // Claim: the line buffer's gain grows with pipeline depth.
+    let gain = |hit| {
+        let base = ipc(Benchmark::Gcc, 32, PortModel::Duplicate, hit, false);
+        ipc(Benchmark::Gcc, 32, PortModel::Duplicate, hit, true) / base - 1.0
+    };
+    let g1 = gain(1);
+    let g3 = gain(3);
+    claims.push(Claim {
+        name: "line buffer: grows with depth",
+        paper: "gcc +3% at 1~, +23% at 3~ (duplicate)",
+        measured: format!("gcc {:+.1}% at 1~, {:+.1}% at 3~", 100.0 * g1, 100.0 * g3),
+        pass: g3 > g1 + 0.05 && g3 > 0.08,
+    });
+
+    // Claim: duplicate + LB >= banked + LB on average.
+    let dup = avg(&|b| ipc(b, 32, PortModel::Duplicate, 2, true));
+    let banked = avg(&|b| ipc(b, 32, PortModel::Banked(8), 2, true));
+    claims.push(Claim {
+        name: "duplicate+LB >= banked+LB",
+        paper: "LB flips the ranking to duplicate",
+        measured: format!("duplicate {dup:.3} vs banked {banked:.3}"),
+        pass: dup >= banked * 0.99,
+    });
+
+    // Claim: DRAM latency costs ~3%/cycle; database prefers SRAM.
+    let dram = |b: Benchmark, hit| sim(b).dram_cache(hit).line_buffer(true).run().ipc();
+    let d6 = avg(&|b| dram(b, 6));
+    let d8 = avg(&|b| dram(b, 8));
+    let db_sram = ipc(Benchmark::Database, 16, PortModel::Banked(8), 1, true);
+    let db_dram = dram(Benchmark::Database, 6);
+    claims.push(Claim {
+        name: "DRAM: latency costs; database prefers SRAM",
+        paper: "-3%/cycle; DRAM below 16K SRAM on average",
+        measured: format!(
+            "{:+.1}%/cycle; database SRAM {db_sram:.3} vs DRAM {db_dram:.3}",
+            100.0 * ((d8 / d6).powf(0.5) - 1.0)
+        ),
+        pass: d8 < d6 && db_sram > db_dram,
+    });
+
+    // Claim: bigger caches raise IPC at fixed cycle time.
+    let c4 = avg(&|b| ipc(b, 4, PortModel::Duplicate, 1, true));
+    let c1m = avg(&|b| ipc(b, 1024, PortModel::Duplicate, 1, true));
+    claims.push(Claim {
+        name: "capacity raises IPC",
+        paper: "Figure 8 rises to 1M",
+        measured: format!("4K {c4:.3} -> 1M {c1m:.3}"),
+        pass: c1m > c4,
+    });
+
+    let mut failed = 0;
+    println!("{:<42} {:<45} result", "claim (paper)", "measured");
+    println!("{}", "-".repeat(100));
+    for c in &claims {
+        let status = if c.pass { "PASS" } else { "FAIL" };
+        if !c.pass {
+            failed += 1;
+        }
+        println!("{:<42} {:<45} {status}", format!("{} [{}]", c.name, c.paper), c.measured);
+    }
+    println!("\n{} of {} claims hold", claims.len() - failed, claims.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

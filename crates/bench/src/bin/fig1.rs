@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 1 (no simulation required).
+
+fn main() {
+    println!("{}", hbc_core::experiments::fig1::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 9.
+
+fn main() {
+    let params = hbc_bench::params_from_args();
+    println!("{}", hbc_core::experiments::fig9::run(&params));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1.
+
+fn main() {
+    println!("{}", hbc_core::experiments::table1::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2 (spec vs measured instruction mix).
+
+fn main() {
+    let params = hbc_bench::params_from_args();
+    println!("{}", hbc_core::experiments::table2::run(&params));
+}

@@ -1,0 +1,62 @@
+//! Workload calibration harness.
+//!
+//! Prints the functional miss-rate curves (the Figure 3 shape) and the
+//! baseline IPC/stall profile of every benchmark, the two views used to
+//! calibrate the synthetic workload parameters in
+//! `hbc-workloads::benchmarks` against the paper:
+//!
+//! 1. adjust each benchmark's pattern weights/footprints until the miss
+//!    curve matches its Figure 3 shape (level, slope, drop location);
+//! 2. adjust `dep_mean` / `load_use_prob` / `branch_accuracy` until the
+//!    32 K-vs-1 M IPC pair and the stall breakdown look like the paper's
+//!    Figure 4 behaviour for that benchmark's group.
+//!
+//! ```text
+//! cargo run --release -p hbc-bench --bin tune
+//! ```
+
+use hbc_core::{miss_curve, Benchmark, SimBuilder};
+use hbc_mem::PortModel;
+
+fn main() {
+    let sizes: Vec<u64> = vec![4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    println!("misses per instruction (%) — functional, 400k instructions");
+    print!("{:<10}", "bench");
+    for s in &sizes {
+        print!("{:>7}K", s);
+    }
+    println!();
+    for b in Benchmark::ALL {
+        let curve = miss_curve(b, &sizes, 400_000, 1);
+        print!("{:<10}", b.name());
+        for m in curve {
+            print!("{:>7.2}%", m * 100.0);
+        }
+        println!();
+    }
+
+    println!("\nIPC (60k instr, 2 ideal ports, 1-cycle): 32K cache | 1M cache");
+    for b in Benchmark::ALL {
+        let r32 = SimBuilder::new(b)
+            .cache_size_kib(32)
+            .ports(PortModel::Ideal(2))
+            .instructions(60_000)
+            .warmup(10_000)
+            .run();
+        let r1m = SimBuilder::new(b)
+            .cache_size_kib(1024)
+            .ports(PortModel::Ideal(2))
+            .instructions(60_000)
+            .warmup(10_000)
+            .run();
+        let st = r1m.run();
+        println!(
+            "  {:<10} ipc32={:.3} ipc1M={:.3} | 1M: cyc={} fetch_stall={} rob_full={} lsq_full={} st_stall={} avg_ld={:.1}",
+            b.name(), r32.ipc(), r1m.ipc(), st.cycles, st.fetch_stall_cycles,
+            st.rob_full_cycles, st.lsq_full_cycles, st.store_stall_cycles,
+            st.avg_load_latency());
+        let m = r1m.mem();
+        println!("             l2 hit={} miss={} ({:.0}% miss)", m.l2_hits, m.l2_misses,
+            100.0 * m.l2_miss_ratio());
+    }
+}

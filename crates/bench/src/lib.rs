@@ -1,0 +1,77 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--fast` — short windows, representative benchmarks only;
+//! * `--full` — 200 K-instruction windows, all nine benchmarks;
+//! * `--reps` — restrict any preset to the three representatives;
+//! * `--seed N` — workload seed;
+//! * (default) — 60 K-instruction windows, all nine benchmarks.
+
+#![warn(missing_docs)]
+
+use hbc_core::ExpParams;
+
+/// Parses the common experiment flags from `std::env::args`.
+///
+/// Unknown flags abort with a usage message rather than being silently
+/// ignored.
+pub fn params_from_args() -> ExpParams {
+    params_from(std::env::args().skip(1))
+}
+
+/// Parses the common experiment flags from an explicit argument list.
+///
+/// # Example
+///
+/// ```
+/// let p = hbc_bench::params_from(["--fast"].map(String::from));
+/// assert_eq!(p.benchmarks.len(), 3);
+/// ```
+pub fn params_from(args: impl IntoIterator<Item = String>) -> ExpParams {
+    let mut params = ExpParams::standard();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => params = ExpParams::fast(),
+            "--full" => params = ExpParams::full(),
+            "--reps" => params = params.representatives(),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                params.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    params
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--fast|--full] [--reps] [--seed N]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_standard() {
+        let p = params_from(Vec::<String>::new());
+        assert_eq!(p, ExpParams::standard());
+    }
+
+    #[test]
+    fn fast_then_reps_compose() {
+        let p = params_from(["--full", "--reps"].map(String::from));
+        assert_eq!(p.instructions, ExpParams::full().instructions);
+        assert_eq!(p.benchmarks.len(), 3);
+    }
+
+    #[test]
+    fn seed_parses() {
+        let p = params_from(["--seed", "7"].map(String::from));
+        assert_eq!(p.seed, 7);
+    }
+}

@@ -1,0 +1,76 @@
+//! Execution-time machinery for the Figure 9 study.
+//!
+//! IPC alone ignores the processor cycle time; the paper's real metric is
+//! application execution time. As the cycle time (in FO4) shrinks, the
+//! fixed-wall-clock second-level cache (50 ns) and main memory (300 ns)
+//! take more processor cycles, and smaller primary caches (or deeper cache
+//! pipelines) must be used — this module computes those rescalings.
+
+use hbc_timing::{Fo4, Nanoseconds, Technology};
+
+/// Wall-clock latency of the off-chip L2 (50 ns, ten cycles at 200 MHz).
+pub const L2_NS: f64 = 50.0;
+/// Wall-clock latency of main memory (300 ns, sixty cycles at 200 MHz).
+pub const MEM_NS: f64 = 300.0;
+
+/// Second-level and memory latencies in processor cycles at `cycle`.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::exectime::scaled_memory_cycles;
+/// use hbc_timing::{Fo4, Technology};
+///
+/// let tech = Technology::default();
+/// // At the nominal 25 FO4 (5 ns) cycle: the paper's 10 and 60 cycles.
+/// assert_eq!(scaled_memory_cycles(Fo4::new(25.0), &tech), (10, 60));
+/// // At 10 FO4 (2 ns) the same parts are 25 and 150 cycles away.
+/// assert_eq!(scaled_memory_cycles(Fo4::new(10.0), &tech), (25, 150));
+/// ```
+pub fn scaled_memory_cycles(cycle: Fo4, tech: &Technology) -> (u64, u64) {
+    let cycle_ns = tech.cycle_ns(cycle);
+    (
+        Nanoseconds::new(L2_NS).to_cycles(cycle_ns),
+        Nanoseconds::new(MEM_NS).to_cycles(cycle_ns),
+    )
+}
+
+/// Execution time per instruction in nanoseconds, given a measured
+/// cycles-per-instruction and the cycle time.
+pub fn time_per_instruction_ns(cycles: u64, instructions: u64, cycle: Fo4, tech: &Technology) -> f64 {
+    assert!(instructions > 0, "need a non-empty measurement window");
+    cycles as f64 / instructions as f64 * tech.cycle_ns(cycle).get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_anchors() {
+        let tech = Technology::default();
+        assert_eq!(scaled_memory_cycles(Fo4::new(25.0), &tech), (10, 60));
+    }
+
+    #[test]
+    fn faster_clocks_stretch_memory() {
+        let tech = Technology::default();
+        let (l2_a, mem_a) = scaled_memory_cycles(Fo4::new(30.0), &tech);
+        let (l2_b, mem_b) = scaled_memory_cycles(Fo4::new(10.0), &tech);
+        assert!(l2_b > l2_a && mem_b > mem_a);
+    }
+
+    #[test]
+    fn time_per_instruction() {
+        let tech = Technology::default();
+        // CPI 0.5 at 25 FO4 (5 ns) = 2.5 ns per instruction.
+        let t = time_per_instruction_ns(50_000, 100_000, Fo4::new(25.0), &tech);
+        assert!((t - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_instructions_rejected() {
+        let _ = time_per_instruction_ns(1, 0, Fo4::new(25.0), &Technology::default());
+    }
+}

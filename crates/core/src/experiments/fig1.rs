@@ -1,0 +1,52 @@
+//! **Figure 1** — access times for single-ported and eight-way banked
+//! caches, 4 KB to 1 MB, in FO4.
+
+use hbc_timing::AccessTimeModel;
+
+use crate::report::{fmt_f, Table};
+
+/// Regenerates Figure 1.
+///
+/// # Example
+///
+/// ```
+/// let t = hbc_core::experiments::fig1::run();
+/// assert_eq!(t.len(), 9); // 4K..1M
+/// ```
+pub fn run() -> Table {
+    let model = AccessTimeModel::default();
+    let mut table = Table::new(
+        "Figure 1: cache access time (FO4) vs capacity",
+        &["size", "single-ported", "8-way banked", "cycles @25FO4"],
+    );
+    for row in model.figure1() {
+        table.push(vec![
+            row.size.to_string(),
+            fmt_f(row.single_ported.get(), 2),
+            fmt_f(row.banked8.get(), 2),
+            fmt_f(row.single_ported.get() / 25.0, 2),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_paper_anchors() {
+        let t = run();
+        let text = t.to_string();
+        assert!(text.contains("25.00"), "8K anchor missing: {text}");
+        assert!(text.contains("55.00"), "1M anchor missing: {text}");
+        // 512K at 1.67 cycles.
+        assert!(text.contains("1.67"), "512K cycle count missing: {text}");
+    }
+
+    #[test]
+    fn csv_export_works() {
+        let csv = run().to_csv();
+        assert!(csv.lines().count() == 10);
+    }
+}

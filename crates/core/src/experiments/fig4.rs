@@ -1,0 +1,95 @@
+//! **Figure 4** — IPC of ideal multi-cycle multi-ported 32 KB caches at a
+//! fixed processor cycle time.
+
+use hbc_mem::PortModel;
+
+use crate::experiments::ExpParams;
+use crate::report::{fmt_f, Table};
+
+/// Port counts swept by the figure.
+pub const PORTS: [u32; 4] = [1, 2, 3, 4];
+/// Hit times swept by the figure.
+pub const HITS: [u64; 3] = [1, 2, 3];
+
+/// Regenerates Figure 4: one row per (benchmark, hit time), one column per
+/// ideal port count.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::experiments::{fig4, ExpParams};
+///
+/// let t = fig4::run(&ExpParams::fast());
+/// assert_eq!(t.len(), 9); // 3 benchmarks x 3 hit times
+/// ```
+pub fn run(params: &ExpParams) -> Table {
+    let mut table = Table::new(
+        "Figure 4: IPC, ideal multi-cycle multi-ported 32K caches (fixed cycle time)",
+        &["benchmark", "hit", "1 port", "2 ports", "3 ports", "4 ports"],
+    );
+    for &b in &params.benchmarks {
+        for hit in HITS {
+            let mut row = vec![b.name().to_string(), format!("{hit}~")];
+            for ports in PORTS {
+                let ipc = params
+                    .sim(b)
+                    .cache_size_kib(32)
+                    .hit_cycles(hit)
+                    .ports(PortModel::Ideal(ports))
+                    .run()
+                    .ipc();
+                row.push(fmt_f(ipc, 3));
+            }
+            table.push(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_workloads::Benchmark;
+
+    fn v(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn pipelining_always_costs_ipc() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Gcc];
+        let t = run(&p);
+        // Rows: hit 1, 2, 3 for gcc; column 3 = 2 ports.
+        let one = v(&t.rows()[0][3]);
+        let two = v(&t.rows()[1][3]);
+        let three = v(&t.rows()[2][3]);
+        assert!(one > two && two > three, "IPC must fall with hit time: {one} {two} {three}");
+    }
+
+    #[test]
+    fn more_ports_never_hurt() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Tomcatv];
+        let t = run(&p);
+        for row in t.rows() {
+            for pair in row[2..].windows(2) {
+                assert!(v(&pair[1]) >= v(&pair[0]) - 0.02, "ports hurt in {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_loses_less_to_pipelining_than_int() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Gcc, Benchmark::Tomcatv];
+        let t = run(&p);
+        let loss = |base: f64, deep: f64| (base - deep) / base;
+        let gcc_loss = loss(v(&t.rows()[0][3]), v(&t.rows()[2][3]));
+        let fp_loss = loss(v(&t.rows()[3][3]), v(&t.rows()[5][3]));
+        assert!(
+            fp_loss < gcc_loss,
+            "tomcatv should hide pipelining better: gcc {gcc_loss:.3} vs fp {fp_loss:.3}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! **Figure 5** — IPC of 32 KB multi-cycle banked caches at a fixed
+//! processor cycle time.
+
+use hbc_mem::PortModel;
+
+use crate::experiments::ExpParams;
+use crate::report::{fmt_f, Table};
+
+/// External bank counts swept by the figure.
+pub const BANKS: [u32; 5] = [1, 2, 4, 8, 128];
+
+/// Regenerates Figure 5: one row per (benchmark, hit time), one column per
+/// bank count.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::experiments::{fig5, ExpParams};
+///
+/// let t = fig5::run(&ExpParams::fast());
+/// assert_eq!(t.len(), 9);
+/// ```
+pub fn run(params: &ExpParams) -> Table {
+    let mut table = Table::new(
+        "Figure 5: IPC, 32K multi-cycle banked caches (fixed cycle time)",
+        &["benchmark", "hit", "1 bank", "2 banks", "4 banks", "8 banks", "128 banks"],
+    );
+    for &b in &params.benchmarks {
+        for hit in super::fig4::HITS {
+            let mut row = vec![b.name().to_string(), format!("{hit}~")];
+            for banks in BANKS {
+                let ipc = params
+                    .sim(b)
+                    .cache_size_kib(32)
+                    .hit_cycles(hit)
+                    .ports(PortModel::Banked(banks))
+                    .run()
+                    .ipc();
+                row.push(fmt_f(ipc, 3));
+            }
+            table.push(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_workloads::Benchmark;
+
+    fn v(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn more_banks_never_hurt_much() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Gcc];
+        let t = run(&p);
+        for row in t.rows() {
+            for pair in row[2..].windows(2) {
+                assert!(v(&pair[1]) >= v(&pair[0]) - 0.02, "banks hurt in {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn many_banks_close_to_eight(){
+        // The paper: "the performance difference between an eight-way banked
+        // cache and a cache with a large number of banks is small".
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Tomcatv];
+        let t = run(&p);
+        for row in t.rows() {
+            let eight = v(&row[5]);
+            let many = v(&row[6]);
+            assert!((many - eight).abs() / eight < 0.05, "8 vs 128 banks diverge: {row:?}");
+        }
+    }
+}

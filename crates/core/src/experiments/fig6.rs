@@ -1,0 +1,92 @@
+//! **Figure 6** — the line buffer on 32 KB multi-cycle eight-way banked and
+//! duplicate caches, fixed processor cycle time.
+
+use hbc_mem::PortModel;
+
+use crate::experiments::ExpParams;
+use crate::report::{fmt_f, Table};
+
+/// Regenerates Figure 6: IPC with and without the 32-entry line buffer for
+/// both leading port organizations at 1–3-cycle hit times.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::experiments::{fig6, ExpParams};
+///
+/// let t = fig6::run(&ExpParams::fast());
+/// assert_eq!(t.len(), 18); // 3 benchmarks x 2 organizations x 3 hit times
+/// ```
+pub fn run(params: &ExpParams) -> Table {
+    let mut table = Table::new(
+        "Figure 6: IPC of 32K banked/duplicate caches with and without a line buffer",
+        &["benchmark", "organization", "hit", "no LB", "LB", "gain"],
+    );
+    for &b in &params.benchmarks {
+        for (label, ports) in
+            [("8-way banked", PortModel::Banked(8)), ("duplicate", PortModel::Duplicate)]
+        {
+            for hit in super::fig4::HITS {
+                let base = params
+                    .sim(b)
+                    .cache_size_kib(32)
+                    .hit_cycles(hit)
+                    .ports(ports)
+                    .run()
+                    .ipc();
+                let with_lb = params
+                    .sim(b)
+                    .cache_size_kib(32)
+                    .hit_cycles(hit)
+                    .ports(ports)
+                    .line_buffer(true)
+                    .run()
+                    .ipc();
+                table.push(vec![
+                    b.name().to_string(),
+                    label.to_string(),
+                    format!("{hit}~"),
+                    fmt_f(base, 3),
+                    fmt_f(with_lb, 3),
+                    format!("{:+.1}%", 100.0 * (with_lb / base - 1.0)),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_workloads::Benchmark;
+
+    fn v(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn line_buffer_gains_grow_with_pipelining() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Gcc];
+        let t = run(&p);
+        // Duplicate-cache rows are 3..6; gains at hit 1 vs hit 3.
+        let gain = |i: usize| v(&t.rows()[i][4]) / v(&t.rows()[i][3]) - 1.0;
+        let dup_1 = gain(3);
+        let dup_3 = gain(5);
+        assert!(
+            dup_3 > dup_1 + 0.02,
+            "LB must help pipelined caches more: 1~ {dup_1:.3} vs 3~ {dup_3:.3}"
+        );
+    }
+
+    #[test]
+    fn line_buffer_never_hurts_meaningfully() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![Benchmark::Database];
+        let t = run(&p);
+        for row in t.rows() {
+            assert!(v(&row[4]) >= v(&row[3]) * 0.99, "LB hurt in {row:?}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! **Figure 8** — IPC versus cache size for duplicate and eight-way banked
+//! pipelined caches with a line buffer, plus the 4 MB DRAM-cache point,
+//! and the average over the benchmark set.
+
+use hbc_mem::PortModel;
+use hbc_timing::CacheSize;
+
+use crate::experiments::ExpParams;
+use crate::report::{fmt_f, Table};
+
+/// One (organization, hit time) series of the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Series {
+    /// Port organization.
+    pub ports: PortModel,
+    /// Pipelined hit time.
+    pub hit: u64,
+}
+
+/// The six SRAM series of the figure.
+pub fn series() -> Vec<Series> {
+    let mut out = Vec::new();
+    for hit in super::fig4::HITS {
+        out.push(Series { ports: PortModel::Duplicate, hit });
+    }
+    for hit in super::fig4::HITS {
+        out.push(Series { ports: PortModel::Banked(8), hit });
+    }
+    out
+}
+
+/// Regenerates Figure 8 for every benchmark in `params` plus the average:
+/// one row per (benchmark, series), one column per cache size, plus the
+/// 6-cycle 4 MB DRAM-cache datapoint. All configurations include the line
+/// buffer.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::experiments::{fig8, ExpParams};
+///
+/// let mut p = ExpParams::fast();
+/// p.benchmarks.truncate(1);
+/// let t = fig8::run(&p);
+/// assert_eq!(t.len(), 2 * 6); // benchmark + average, 6 series each
+/// ```
+pub fn run(params: &ExpParams) -> Table {
+    let sizes: Vec<u64> = CacheSize::sram_sweep().iter().map(|s| s.kib()).collect();
+    let mut headers = vec!["benchmark".to_string(), "series".to_string()];
+    headers.extend(sizes.iter().map(|k| format!("{k}K")));
+    headers.push("4M DRAM 6~".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Figure 8: IPC vs cache size, duplicate & 8-way banked pipelined caches with line buffer",
+        &header_refs,
+    );
+
+    let label = |s: &Series| {
+        let org = match s.ports {
+            PortModel::Duplicate => "dup",
+            PortModel::Banked(8) => "8bank",
+            _ => "other",
+        };
+        format!("{}~ {org}", s.hit)
+    };
+
+    // ipcs[series][benchmark][size]; the DRAM point is per benchmark.
+    let all = series();
+    let mut avg: Vec<Vec<f64>> = vec![vec![0.0; sizes.len()]; all.len()];
+    let mut avg_dram = 0.0;
+    for &b in &params.benchmarks {
+        let dram = params.sim(b).dram_cache(6).line_buffer(true).run().ipc();
+        avg_dram += dram / params.benchmarks.len() as f64;
+        for (si, s) in all.iter().enumerate() {
+            let mut row = vec![b.name().to_string(), label(s)];
+            for (ki, &kib) in sizes.iter().enumerate() {
+                let ipc = params
+                    .sim(b)
+                    .cache_size_kib(kib)
+                    .hit_cycles(s.hit)
+                    .ports(s.ports)
+                    .line_buffer(true)
+                    .run()
+                    .ipc();
+                avg[si][ki] += ipc / params.benchmarks.len() as f64;
+                row.push(fmt_f(ipc, 3));
+            }
+            row.push(if s.hit == 1 { fmt_f(dram, 3) } else { "-".to_string() });
+            table.push(row);
+        }
+    }
+    for (si, s) in all.iter().enumerate() {
+        let mut row = vec!["average".to_string(), label(s)];
+        row.extend(avg[si].iter().map(|i| fmt_f(*i, 3)));
+        row.push(if s.hit == 1 { fmt_f(avg_dram, 3) } else { "-".to_string() });
+        table.push(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_workloads::Benchmark;
+
+    fn v(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn ipc_grows_with_cache_size_for_gcc() {
+        let mut p = ExpParams::fast();
+        p.instructions = 10_000;
+        p.benchmarks = vec![Benchmark::Gcc];
+        let t = run(&p);
+        // First row: duplicate 1~; 4K column vs 1M column.
+        let small = v(&t.rows()[0][2]);
+        let large = v(&t.rows()[0][10]);
+        assert!(large > small, "gcc IPC should grow with capacity: {small} -> {large}");
+    }
+
+    #[test]
+    fn average_rows_present() {
+        let mut p = ExpParams::fast();
+        p.instructions = 6_000;
+        p.warmup = 1_000;
+        p.benchmarks = vec![Benchmark::Li];
+        let t = run(&p);
+        assert!(t.rows().iter().any(|r| r[0] == "average"));
+        assert_eq!(t.len(), 12);
+    }
+}

@@ -1,0 +1,43 @@
+//! **Table 1** — the nine benchmarks.
+
+use hbc_workloads::Benchmark;
+
+use crate::report::Table;
+
+/// Regenerates Table 1: each benchmark with its group and description.
+///
+/// # Example
+///
+/// ```
+/// let t = hbc_core::experiments::table1::run();
+/// assert_eq!(t.len(), 9);
+/// ```
+pub fn run() -> Table {
+    let mut table =
+        Table::new("Table 1: the nine benchmarks", &["benchmark", "group", "description"]);
+    for b in Benchmark::ALL {
+        let spec = b.spec();
+        table.push(vec![
+            b.name().to_string(),
+            b.group().to_string(),
+            spec.description.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_nine_with_groups() {
+        let t = run();
+        let text = t.to_string();
+        for b in Benchmark::ALL {
+            assert!(text.contains(b.name()), "missing {b}");
+        }
+        assert!(text.contains("SPEC95 integer"));
+        assert!(text.contains("SimOS multiprogramming"));
+    }
+}

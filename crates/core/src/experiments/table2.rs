@@ -1,0 +1,70 @@
+//! **Table 2** — execution-time percentages (kernel/user/idle) and the
+//! load/store fractions of the instruction stream, paper values alongside
+//! the fractions measured from the synthetic streams.
+
+use hbc_workloads::{StreamStats, WorkloadGen};
+
+use crate::experiments::ExpParams;
+use crate::report::{fmt_f, Table};
+
+/// Regenerates Table 2, characterizing `params.instructions * 4`
+/// instructions of each benchmark's stream.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::experiments::{table2, ExpParams};
+///
+/// let t = table2::run(&ExpParams::fast());
+/// assert_eq!(t.len(), 3); // fast() covers the three representatives
+/// ```
+pub fn run(params: &ExpParams) -> Table {
+    let mut table = Table::new(
+        "Table 2: execution-time and instruction-mix percentages (paper / measured)",
+        &["benchmark", "kernel%", "user%", "idle%", "loads%", "loads(meas)", "stores%",
+          "stores(meas)"],
+    );
+    for &b in &params.benchmarks {
+        let spec = b.spec();
+        let mut gen = WorkloadGen::new(b, params.seed);
+        let stats = StreamStats::characterize(&mut gen, params.instructions * 4);
+        table.push(vec![
+            b.name().to_string(),
+            fmt_f(spec.table2.kernel_pct, 1),
+            fmt_f(spec.table2.user_pct, 1),
+            fmt_f(spec.table2.idle_pct, 1),
+            fmt_f(spec.table2.load_pct, 1),
+            fmt_f(stats.load_pct(), 1),
+            fmt_f(spec.table2.store_pct, 1),
+            fmt_f(stats.store_pct(), 1),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_mix_tracks_spec() {
+        let t = run(&ExpParams::fast());
+        for row in t.rows() {
+            let spec_loads: f64 = row[4].parse().unwrap();
+            let meas_loads: f64 = row[5].parse().unwrap();
+            assert!(
+                (spec_loads - meas_loads).abs() < 2.0,
+                "{}: loads {spec_loads} vs {meas_loads}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn database_idle_fraction_reported() {
+        let mut p = ExpParams::fast();
+        p.benchmarks = vec![hbc_workloads::Benchmark::Database];
+        let t = run(&p);
+        assert_eq!(t.rows()[0][3], "64.6");
+    }
+}

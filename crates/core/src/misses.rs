@@ -1,0 +1,84 @@
+//! Fast functional miss-rate sweeps (paper Figure 3).
+//!
+//! Figure 3 only needs cache contents, not timing, so this module replays
+//! the memory references of a workload through a bare tag array — orders of
+//! magnitude faster than the cycle-level simulator and therefore usable
+//! with longer streams.
+
+use hbc_mem::CacheArray;
+use hbc_workloads::{Benchmark, WorkloadGen};
+
+/// Misses per instruction of `benchmark` for a single-ported two-way
+/// 32-byte-line cache of each size in `sizes_kib`, over `instructions`
+/// generated instructions.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::{miss_curve, Benchmark};
+///
+/// let curve = miss_curve(Benchmark::Gcc, &[4, 64], 20_000, 1);
+/// assert!(curve[0] > curve[1], "bigger caches miss less");
+/// ```
+pub fn miss_curve(
+    benchmark: Benchmark,
+    sizes_kib: &[u64],
+    instructions: u64,
+    seed: u64,
+) -> Vec<f64> {
+    sizes_kib
+        .iter()
+        .map(|&kib| misses_per_instruction(benchmark, kib, instructions, seed))
+        .collect()
+}
+
+/// Misses per instruction for one cache size (two-way, 32-byte lines, with
+/// a one-eighth warm-up excluded from the count).
+pub fn misses_per_instruction(
+    benchmark: Benchmark,
+    size_kib: u64,
+    instructions: u64,
+    seed: u64,
+) -> f64 {
+    let mut cache = CacheArray::new(size_kib << 10, 2, 32);
+    let mut gen = WorkloadGen::new(benchmark, seed);
+    let warmup = instructions / 8;
+    let mut misses = 0u64;
+    for i in 0..(warmup + instructions) {
+        let inst = gen.next_inst();
+        if let Some(addr) = inst.addr() {
+            let hit = cache.touch(addr);
+            if !hit && i >= warmup {
+                misses += 1;
+            }
+        }
+    }
+    misses as f64 / instructions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_decrease_overall() {
+        for b in [Benchmark::Gcc, Benchmark::Tomcatv, Benchmark::Database] {
+            let c = miss_curve(b, &[4, 1024], 60_000, 1);
+            assert!(c[0] > c[1], "{b}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn integer_benchmarks_miss_least() {
+        let gcc = misses_per_instruction(Benchmark::Gcc, 32, 80_000, 1);
+        let db = misses_per_instruction(Benchmark::Database, 32, 80_000, 1);
+        assert!(db > gcc, "database ({db}) must out-miss gcc ({gcc})");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = misses_per_instruction(Benchmark::Li, 16, 30_000, 9);
+        let b = misses_per_instruction(Benchmark::Li, 16, 30_000, 9);
+        assert_eq!(a, b);
+    }
+}

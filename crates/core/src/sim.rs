@@ -1,0 +1,287 @@
+//! Simulation configuration and runner.
+
+use hbc_cpu::{Core, CpuConfig, RunStats};
+use hbc_mem::{MemConfig, MemStats, MemSystem, PortModel};
+use hbc_workloads::{Benchmark, BenchmarkSpec, WorkloadGen};
+
+/// Default instructions simulated per configuration.
+pub const DEFAULT_INSTRUCTIONS: u64 = 200_000;
+/// Default warm-up instructions (excluded from statistics).
+pub const DEFAULT_WARMUP: u64 = 10_000;
+/// Default instructions used to functionally pre-warm the caches before
+/// cycle-accurate simulation (emulating the steady state of the paper's
+/// 100M+-instruction traces).
+pub const DEFAULT_CACHE_WARM: u64 = 2_000_000;
+
+/// Builder for one simulation: a benchmark, a memory configuration, and a
+/// measurement window.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::{Benchmark, SimBuilder};
+/// use hbc_mem::PortModel;
+///
+/// let result = SimBuilder::new(Benchmark::Gcc)
+///     .cache_size_kib(32)
+///     .hit_cycles(2)
+///     .ports(PortModel::Duplicate)
+///     .line_buffer(true)
+///     .instructions(10_000)
+///     .warmup(2_000)
+///     .run();
+/// assert!(result.ipc() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    benchmark: Benchmark,
+    spec_override: Option<BenchmarkSpec>,
+    cache_kib: u64,
+    hit_cycles: u64,
+    ports: PortModel,
+    line_buffer: bool,
+    dram_hit: Option<u64>,
+    l2_hit_override: Option<u64>,
+    mem_latency_override: Option<u64>,
+    instructions: u64,
+    warmup: u64,
+    cache_warm: u64,
+    seed: u64,
+    cpu: CpuConfig,
+}
+
+impl SimBuilder {
+    /// Starts a simulation of `benchmark` with the paper's defaults: 32 KB
+    /// two-ideal-port single-cycle cache, no line buffer, 200 K + 30 K
+    /// instructions.
+    pub fn new(benchmark: Benchmark) -> Self {
+        SimBuilder {
+            benchmark,
+            spec_override: None,
+            cache_kib: 32,
+            hit_cycles: 1,
+            ports: PortModel::Ideal(2),
+            line_buffer: false,
+            dram_hit: None,
+            l2_hit_override: None,
+            mem_latency_override: None,
+            instructions: DEFAULT_INSTRUCTIONS,
+            warmup: DEFAULT_WARMUP,
+            cache_warm: DEFAULT_CACHE_WARM,
+            seed: 42,
+            cpu: CpuConfig::paper(),
+        }
+    }
+
+    /// Replaces the benchmark's stock spec (custom workloads).
+    pub fn spec(mut self, spec: BenchmarkSpec) -> Self {
+        self.spec_override = Some(spec);
+        self
+    }
+
+    /// Primary cache capacity in KiB.
+    pub fn cache_size_kib(mut self, kib: u64) -> Self {
+        self.cache_kib = kib;
+        self
+    }
+
+    /// Pipelined hit time in cycles (1–3 in the study).
+    pub fn hit_cycles(mut self, cycles: u64) -> Self {
+        self.hit_cycles = cycles;
+        self
+    }
+
+    /// Port structure.
+    pub fn ports(mut self, ports: PortModel) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Enables or disables the 32-entry line buffer.
+    pub fn line_buffer(mut self, enabled: bool) -> Self {
+        self.line_buffer = enabled;
+        self
+    }
+
+    /// Switches to the DRAM-cache memory system with the given DRAM hit
+    /// time (6–8); the primary cache becomes the 16 KB row-buffer cache and
+    /// `cache_size_kib`/`hit_cycles`/`ports` are ignored.
+    pub fn dram_cache(mut self, dram_hit_cycles: u64) -> Self {
+        self.dram_hit = Some(dram_hit_cycles);
+        self
+    }
+
+    /// Overrides the L2 hit time in cycles (execution-time study).
+    pub fn l2_hit_cycles(mut self, cycles: u64) -> Self {
+        self.l2_hit_override = Some(cycles);
+        self
+    }
+
+    /// Overrides the memory latency in cycles (execution-time study).
+    pub fn mem_latency(mut self, cycles: u64) -> Self {
+        self.mem_latency_override = Some(cycles);
+        self
+    }
+
+    /// Measured instruction count.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Warm-up instruction count (excluded from statistics).
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Instructions used to functionally pre-warm the caches (no timing).
+    pub fn cache_warm(mut self, n: u64) -> Self {
+        self.cache_warm = n;
+        self
+    }
+
+    /// Workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Processor configuration.
+    pub fn cpu(mut self, cpu: CpuConfig) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// The memory configuration this builder will run.
+    pub fn mem_config(&self) -> MemConfig {
+        let mut cfg = match self.dram_hit {
+            Some(hit) => MemConfig::paper_dram(hit),
+            None => MemConfig::paper_sram(self.cache_kib << 10, self.hit_cycles, self.ports),
+        };
+        if self.line_buffer {
+            cfg = cfg.with_line_buffer();
+        }
+        if let Some(l2) = self.l2_hit_override {
+            cfg = cfg.with_l2_hit_cycles(l2);
+        }
+        if let Some(m) = self.mem_latency_override {
+            cfg = cfg.with_mem_latency(m);
+        }
+        cfg
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (the experiment drivers only
+    /// construct valid ones).
+    pub fn run(&self) -> SimResult {
+        let mut mem = MemSystem::new(self.mem_config()).expect("valid memory configuration");
+        let mut gen = match &self.spec_override {
+            Some(spec) => WorkloadGen::from_spec(spec.clone(), self.seed),
+            None => WorkloadGen::new(self.benchmark, self.seed),
+        };
+        // Functional pre-warming: bring the hierarchy to the steady state a
+        // trace as long as the paper's would reach, then measure.
+        for _ in 0..self.cache_warm {
+            if let Some(addr) = gen.next_inst().addr() {
+                mem.warm_touch(addr);
+            }
+        }
+        let mut core = Core::new(self.cpu.clone(), mem, gen).expect("valid CPU configuration");
+        if self.warmup > 0 {
+            core.run(self.warmup);
+        }
+        let run = core.run(self.instructions);
+        SimResult { benchmark: self.benchmark, run, mem: core.mem().stats().clone() }
+    }
+}
+
+/// Outcome of one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    benchmark: Benchmark,
+    run: RunStats,
+    mem: MemStats,
+}
+
+impl SimResult {
+    /// The simulated benchmark.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Instructions per cycle over the measured window.
+    pub fn ipc(&self) -> f64 {
+        self.run.ipc()
+    }
+
+    /// Processor statistics.
+    pub fn run(&self) -> &RunStats {
+        &self.run
+    }
+
+    /// Memory statistics (cumulative, including warm-up).
+    pub fn mem(&self) -> &MemStats {
+        &self.mem
+    }
+
+    /// Primary-cache load misses per measured instruction.
+    pub fn misses_per_instruction(&self) -> f64 {
+        // Memory stats are cumulative; scale by the measured fraction.
+        self.mem.l1_load_misses as f64 / (self.run.instructions.max(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(b: Benchmark) -> SimBuilder {
+        SimBuilder::new(b).instructions(40_000).warmup(8_000)
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = quick(Benchmark::Gcc).run();
+        let b = quick(Benchmark::Gcc).run();
+        assert_eq!(a.ipc(), b.ipc());
+        assert_eq!(a.mem(), b.mem());
+    }
+
+    #[test]
+    fn different_seeds_vary_slightly() {
+        let a = quick(Benchmark::Gcc).seed(1).run();
+        let b = quick(Benchmark::Gcc).seed(2).run();
+        assert_ne!(a.ipc(), b.ipc());
+        let rel = (a.ipc() - b.ipc()).abs() / a.ipc();
+        assert!(rel < 0.2, "seeds should not change the story: {} vs {}", a.ipc(), b.ipc());
+    }
+
+    #[test]
+    fn larger_cache_never_much_worse() {
+        let small = quick(Benchmark::Gcc).cache_size_kib(4).run();
+        let large = quick(Benchmark::Gcc).cache_size_kib(256).run();
+        assert!(large.ipc() > small.ipc() * 0.95, "{} vs {}", small.ipc(), large.ipc());
+    }
+
+    #[test]
+    fn dram_builder_selects_row_cache() {
+        let r = quick(Benchmark::Gcc).dram_cache(6).line_buffer(true).run();
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let b = SimBuilder::new(Benchmark::Li)
+            .l2_hit_cycles(25)
+            .mem_latency(150)
+            .cache_size_kib(64);
+        let cfg = b.mem_config();
+        assert_eq!(cfg.l2.hit_cycles(), 25);
+        assert_eq!(cfg.mem_latency, 150);
+        assert_eq!(cfg.l1.size_bytes, 64 << 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Processor configuration.
+
+use hbc_isa::LatencyTable;
+
+/// Configuration of the dynamic superscalar processor (paper Figure 2).
+///
+/// The paper's machine: four-issue, 64-entry instruction window, 32-entry
+/// load/store buffer, R10000 instruction latencies, no restriction on which
+/// instruction types issue together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched and dispatched per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: u32,
+    /// Instructions retired per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer (instruction window) entries.
+    pub rob_entries: usize,
+    /// Load/store queue entries.
+    pub lsq_entries: usize,
+    /// Functional-unit latencies.
+    pub latencies: LatencyTable,
+    /// Cycles between a mispredicted branch resolving and useful fetch
+    /// resuming (redirect penalty).
+    pub redirect_penalty: u64,
+}
+
+impl CpuConfig {
+    /// The paper's four-issue dynamic superscalar processor.
+    pub fn paper() -> Self {
+        CpuConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 64,
+            lsq_entries: 32,
+            latencies: LatencyTable::r10000(),
+            redirect_penalty: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first zero-width or zero-capacity
+    /// parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.rob_entries == 0 {
+            return Err("reorder buffer needs at least one entry".into());
+        }
+        if self.lsq_entries == 0 {
+            return Err("load/store queue needs at least one entry".into());
+        }
+        if self.lsq_entries > self.rob_entries {
+            return Err("load/store queue cannot exceed the instruction window".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = CpuConfig::paper();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        let mut c = CpuConfig::paper();
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::paper();
+        c.lsq_entries = 128;
+        assert!(c.validate().is_err());
+    }
+}

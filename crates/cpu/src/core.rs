@@ -1,0 +1,600 @@
+//! The four-issue dynamic superscalar pipeline.
+
+use std::collections::VecDeque;
+
+use hbc_isa::{DynInst, InstId};
+use hbc_mem::{LoadResponse, MemSystem};
+
+use crate::config::CpuConfig;
+use crate::stats::RunStats;
+
+/// Lifecycle of one in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// In the window, waiting for source operands.
+    Dispatched,
+    /// In a functional unit (address calculation, for memory operations).
+    Executing {
+        /// Cycle the unit finishes.
+        done: u64,
+    },
+    /// A load with its address ready, waiting for a cache port.
+    WaitingPort,
+    /// A load accepted by the memory system.
+    MemPending {
+        /// Cycle the data returns.
+        done: u64,
+    },
+    /// Finished; eligible to retire in order.
+    Done {
+        /// Cycle the result became available.
+        at: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    inst: DynInst,
+    dispatched_at: u64,
+    stage: Stage,
+}
+
+/// The dynamic superscalar processor core, generic over its instruction
+/// stream.
+///
+/// Models the paper's MXS configuration: four-wide fetch/issue/commit, a
+/// 64-entry instruction window, a 32-entry load/store queue, out-of-order
+/// issue with no functional-unit class restrictions, non-blocking loads
+/// against the [`MemSystem`], buffered stores written at commit, and fetch
+/// squelching on branch mispredictions until the branch resolves.
+///
+/// # Example
+///
+/// ```
+/// use hbc_cpu::{Core, CpuConfig};
+/// use hbc_mem::{MemConfig, MemSystem, PortModel};
+/// use hbc_workloads::{Benchmark, WorkloadGen};
+///
+/// let mem = MemSystem::new(MemConfig::paper_sram(32 << 10, 1, PortModel::Duplicate))?;
+/// let gen = WorkloadGen::new(Benchmark::Gcc, 1);
+/// let mut core = Core::new(CpuConfig::paper(), mem, gen)?;
+/// let stats = core.run(5_000);
+/// assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core<I> {
+    cfg: CpuConfig,
+    mem: MemSystem,
+    stream: I,
+    rob: VecDeque<Slot>,
+    /// Id of the oldest instruction still in the window; every older id has
+    /// retired and is therefore a ready source.
+    head: u64,
+    now: u64,
+    lsq_used: usize,
+    /// Instruction fetched but not yet dispatched (window or LSQ full).
+    staged: Option<DynInst>,
+    /// Mispredicted control transfer fetch is waiting on, if any.
+    waiting_branch: Option<InstId>,
+    /// Cycle useful fetch resumes after a resolved misprediction.
+    fetch_resume_at: u64,
+    retired_total: u64,
+}
+
+impl<I: Iterator<Item = DynInst>> Core<I> {
+    /// Builds a core over `mem` consuming instructions from `stream`.
+    ///
+    /// The stream must be infinite (the generator never ends) and produce
+    /// sequential [`InstId`]s starting at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `cfg` is inconsistent.
+    pub fn new(cfg: CpuConfig, mem: MemSystem, stream: I) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Core {
+            cfg,
+            mem,
+            stream,
+            rob: VecDeque::new(),
+            head: 0,
+            now: 0,
+            lsq_used: 0,
+            staged: None,
+            waiting_branch: None,
+            fetch_resume_at: 0,
+            retired_total: 0,
+        })
+    }
+
+    /// The memory system (for its statistics).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Total instructions retired since construction.
+    pub fn retired(&self) -> u64 {
+        self.retired_total
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until `instructions` more instructions retire and returns the
+    /// statistics of that window. Call once to warm up and again to
+    /// measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no instruction retires for 100 000
+    /// cycles) or the instruction stream ends.
+    pub fn run(&mut self, instructions: u64) -> RunStats {
+        let mut stats = RunStats::default();
+        let start_cycle = self.now;
+        let target = self.retired_total + instructions;
+        let mut last_retired = self.retired_total;
+        let mut idle_cycles = 0u64;
+        while self.retired_total < target {
+            self.step(&mut stats);
+            if self.retired_total == last_retired {
+                idle_cycles += 1;
+                assert!(idle_cycles < 100_000, "pipeline deadlock at cycle {}", self.now);
+            } else {
+                idle_cycles = 0;
+                last_retired = self.retired_total;
+            }
+        }
+        stats.instructions = self.retired_total - (target - instructions);
+        stats.cycles = self.now - start_cycle;
+        stats
+    }
+
+    /// Advances the machine one cycle.
+    fn step(&mut self, stats: &mut RunStats) {
+        self.now += 1;
+        let now = self.now;
+        self.mem.begin_cycle(now);
+        self.update_stages(now);
+        self.issue(now);
+        self.access_memory(now);
+        self.retire(now, stats);
+        self.fetch(now, stats);
+        self.mem.end_cycle();
+    }
+
+    /// Moves finished executions along and resolves waiting branches.
+    fn update_stages(&mut self, now: u64) {
+        let mut resolved: Option<(InstId, u64)> = None;
+        for slot in &mut self.rob {
+            match slot.stage {
+                Stage::Executing { done } if done <= now => {
+                    slot.stage = if slot.inst.op().is_load() {
+                        Stage::WaitingPort
+                    } else {
+                        if slot.inst.op().is_control() && slot.inst.mispredicted() {
+                            resolved = Some((slot.inst.id(), done));
+                        }
+                        Stage::Done { at: done }
+                    };
+                }
+                Stage::MemPending { done } if done <= now => {
+                    slot.stage = Stage::Done { at: done };
+                }
+                _ => {}
+            }
+        }
+        if let Some((id, done)) = resolved {
+            if self.waiting_branch == Some(id) {
+                self.waiting_branch = None;
+                self.fetch_resume_at = done + self.cfg.redirect_penalty;
+            }
+        }
+    }
+
+    /// `true` when `src` has produced its value by `now`.
+    fn src_ready(&self, src: InstId, now: u64) -> bool {
+        if src.get() < self.head {
+            return true; // producer already retired
+        }
+        let idx = (src.get() - self.head) as usize;
+        match self.rob.get(idx) {
+            Some(slot) => matches!(slot.stage, Stage::Done { at } if at <= now),
+            None => true,
+        }
+    }
+
+    fn issue(&mut self, now: u64) {
+        let mut issued = 0;
+        for i in 0..self.rob.len() {
+            if issued == self.cfg.issue_width {
+                break;
+            }
+            if self.rob[i].stage != Stage::Dispatched {
+                continue;
+            }
+            let inst = self.rob[i].inst;
+            let ready =
+                inst.srcs().iter().flatten().all(|s| self.src_ready(*s, now));
+            if !ready {
+                continue;
+            }
+            let latency = u64::from(self.cfg.latencies.latency(inst.op()));
+            self.rob[i].stage = Stage::Executing { done: now + latency };
+            issued += 1;
+        }
+    }
+
+    /// Presents address-ready loads to the memory system, oldest first.
+    ///
+    /// The load queue issues to the cache in age order: when a load is
+    /// denied (port busy, bank conflict, MSHRs full), younger loads do not
+    /// bypass it to the ports that cycle — the conflict replays from the
+    /// oldest denied load, as in bank-conflict replay schemes.
+    fn access_memory(&mut self, now: u64) {
+        for i in 0..self.rob.len() {
+            if self.rob[i].stage != Stage::WaitingPort {
+                continue;
+            }
+            let addr = self.rob[i].inst.addr().expect("loads carry addresses");
+            match self.mem.try_load(addr) {
+                LoadResponse::LineBufferHit { complete_at }
+                | LoadResponse::Hit { complete_at }
+                | LoadResponse::Miss { complete_at } => {
+                    self.rob[i].stage = Stage::MemPending { done: complete_at.max(now + 1) };
+                }
+                LoadResponse::Rejected(_) => break,
+            }
+        }
+    }
+
+    fn retire(&mut self, now: u64, stats: &mut RunStats) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(slot) = self.rob.front() else { break };
+            let Stage::Done { at } = slot.stage else { break };
+            if at > now {
+                break;
+            }
+            let inst = slot.inst;
+            if inst.op().is_store() {
+                let addr = inst.addr().expect("stores carry addresses");
+                if !self.mem.commit_store(addr) {
+                    stats.store_stall_cycles += 1;
+                    break; // store buffer full: stall commit this cycle
+                }
+                stats.stores += 1;
+            }
+            if inst.op().is_load() {
+                stats.loads += 1;
+                stats.load_latency_sum += at - slot.dispatched_at;
+            }
+            if inst.op().is_control() && inst.mispredicted() {
+                stats.mispredicts += 1;
+            }
+            if inst.is_mem() {
+                self.lsq_used -= 1;
+            }
+            self.rob.pop_front();
+            self.head += 1;
+            self.retired_total += 1;
+        }
+    }
+
+    fn fetch(&mut self, now: u64, stats: &mut RunStats) {
+        if self.waiting_branch.is_some() || now < self.fetch_resume_at {
+            stats.fetch_stall_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.rob.len() == self.cfg.rob_entries {
+                stats.rob_full_cycles += 1;
+                break;
+            }
+            let inst = match self.staged.take() {
+                Some(i) => i,
+                None => self.stream.next().expect("instruction stream must be infinite"),
+            };
+            if self.retired_total == 0 && self.rob.is_empty() {
+                // The stream may start mid-trace (e.g. after functional
+                // cache warming consumed a prefix); anchor the window there.
+                self.head = inst.id().get();
+            }
+            debug_assert_eq!(inst.id().get(), self.head + self.rob.len() as u64);
+            if inst.is_mem() && self.lsq_used == self.cfg.lsq_entries {
+                stats.lsq_full_cycles += 1;
+                self.staged = Some(inst);
+                break;
+            }
+            if inst.is_mem() {
+                self.lsq_used += 1;
+            }
+            let mispredict = inst.op().is_control() && inst.mispredicted();
+            self.rob.push_back(Slot { inst, dispatched_at: now, stage: Stage::Dispatched });
+            if mispredict {
+                // Fetch down the wrong path is not modeled; the front end
+                // simply produces nothing until the branch resolves.
+                self.waiting_branch = Some(inst.id());
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbc_isa::{ExecMode, OpClass};
+    use hbc_mem::{MemConfig, PortModel};
+
+    fn mem(ports: PortModel, hit: u64) -> MemSystem {
+        MemSystem::new(MemConfig::paper_sram(32 << 10, hit, ports)).unwrap()
+    }
+
+    /// An infinite stream built from a per-index closure.
+    fn stream(f: impl Fn(u64) -> DynInst + 'static) -> impl Iterator<Item = DynInst> {
+        (0u64..).map(move |i| f(i))
+    }
+
+    #[test]
+    fn independent_alu_reaches_full_width() {
+        let s = stream(|i| DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User));
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        core.run(1_000);
+        let stats = core.run(10_000);
+        assert!(stats.ipc() > 3.9, "independent ALU ops should saturate: {}", stats.ipc());
+    }
+
+    #[test]
+    fn serial_chain_runs_at_one_ipc() {
+        let s = stream(|i| {
+            let inst = DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User);
+            if i > 0 {
+                inst.with_src(InstId::new(i - 1))
+            } else {
+                inst
+            }
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        core.run(1_000);
+        let stats = core.run(10_000);
+        assert!(
+            (stats.ipc() - 1.0).abs() < 0.05,
+            "dependent single-cycle chain must run near 1 IPC: {}",
+            stats.ipc()
+        );
+    }
+
+    #[test]
+    fn fp_divide_chain_is_slow() {
+        let s = stream(|i| {
+            let inst = DynInst::new(InstId::new(i), OpClass::FpDiv, ExecMode::User);
+            if i > 0 {
+                inst.with_src(InstId::new(i - 1))
+            } else {
+                inst
+            }
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        let stats = core.run(500);
+        // One divide per 19 cycles.
+        assert!(stats.ipc() < 0.06, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_fetch_cycles() {
+        let every_8_mispredicts = |i: u64| {
+            if i % 8 == 7 {
+                DynInst::new(InstId::new(i), OpClass::Branch, ExecMode::User)
+                    .with_branch(true, true)
+            } else {
+                DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
+            }
+        };
+        let clean = |i: u64| {
+            if i % 8 == 7 {
+                DynInst::new(InstId::new(i), OpClass::Branch, ExecMode::User)
+                    .with_branch(true, false)
+            } else {
+                DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
+            }
+        };
+        let mut dirty_core =
+            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), stream(every_8_mispredicts))
+                .unwrap();
+        let mut clean_core =
+            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), stream(clean)).unwrap();
+        let dirty = dirty_core.run(10_000);
+        let clean = clean_core.run(10_000);
+        assert!(
+            dirty.ipc() < 0.75 * clean.ipc(),
+            "mispredicts must hurt: {} vs {}",
+            dirty.ipc(),
+            clean.ipc()
+        );
+        assert!(dirty.fetch_stall_cycles > 0);
+        assert_eq!(dirty.mispredicts, 10_000 / 8);
+    }
+
+    #[test]
+    fn loads_cost_address_calc_plus_hit_time() {
+        // Serial chain of loads to one hot line: each depends on the
+        // previous, so latency adds up visibly.
+        let chained_loads = |i: u64| {
+            let inst = DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User).with_addr(0x40);
+            if i > 0 {
+                inst.with_src(InstId::new(i - 1))
+            } else {
+                inst
+            }
+        };
+        // hit = 1: issue->addr(1) + port + hit(1) => ~3 cycles/load once hot.
+        let mut c1 =
+            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), stream(chained_loads))
+                .unwrap();
+        c1.run(200);
+        let s1 = c1.run(2_000);
+        // hit = 3: two extra cycles per load in the chain.
+        let mut c3 =
+            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 3), stream(chained_loads))
+                .unwrap();
+        c3.run(200);
+        let s3 = c3.run(2_000);
+        assert!(
+            s3.avg_load_latency() > s1.avg_load_latency() + 1.5,
+            "pipelined hit time must show up in serial load chains: {} vs {}",
+            s1.avg_load_latency(),
+            s3.avg_load_latency()
+        );
+        assert!(s1.ipc() > s3.ipc());
+    }
+
+    #[test]
+    fn independent_loads_hide_pipelined_hit_time() {
+        // Independent loads across distinct hot lines: out-of-order issue
+        // overlaps the extra hit cycles almost completely.
+        let independent = |i: u64| {
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
+                .with_addr((i % 64) * 32)
+        };
+        let ipc_at = |hit| {
+            let mut c =
+                Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), hit), stream(independent))
+                    .unwrap();
+            c.run(2_000);
+            c.run(10_000).ipc()
+        };
+        let one = ipc_at(1);
+        let three = ipc_at(3);
+        assert!(three > 0.85 * one, "OoO should hide pipelining: {one} vs {three}");
+    }
+
+    #[test]
+    fn more_ports_help_load_heavy_streams() {
+        let independent = |i: u64| {
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
+                .with_addr((i % 64) * 32)
+        };
+        let ipc_with = |ports| {
+            let mut c = Core::new(CpuConfig::paper(), mem(ports, 1), stream(independent)).unwrap();
+            c.run(2_000);
+            c.run(10_000).ipc()
+        };
+        let one = ipc_with(PortModel::Ideal(1));
+        let two = ipc_with(PortModel::Ideal(2));
+        let four = ipc_with(PortModel::Ideal(4));
+        assert!(two > 1.5 * one, "1->2 ports: {one} -> {two}");
+        assert!(four > two, "2->4 ports: {two} -> {four}");
+        assert!((one - 1.0).abs() < 0.1, "one port serializes pure loads: {one}");
+    }
+
+    #[test]
+    fn stores_do_not_block_loads() {
+        // Alternating stores and independent ALU ops: stores drain into
+        // idle cycles and commit never wedges.
+        let s = stream(|i| {
+            if i % 4 == 0 {
+                DynInst::new(InstId::new(i), OpClass::Store, ExecMode::User)
+                    .with_addr((i % 256) * 32)
+            } else {
+                DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
+            }
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        core.run(2_000);
+        let stats = core.run(10_000);
+        assert!(stats.ipc() > 2.0, "ipc {}", stats.ipc());
+        assert_eq!(stats.stores, 2_500);
+    }
+
+    #[test]
+    fn run_windows_are_additive() {
+        let s = stream(|i| DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User));
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        let a = core.run(1_000);
+        let b = core.run(1_000);
+        assert_eq!(core.retired(), 2_000);
+        assert_eq!(a.instructions, 1_000);
+        assert_eq!(b.instructions, 1_000);
+        assert!(core.now() >= a.cycles + b.cycles);
+    }
+
+    #[test]
+    fn store_flood_stalls_commit_but_recovers() {
+        // A pure store stream overwhelms the drain path of a duplicate
+        // cache (stores need both copies idle): commit must stall on the
+        // full buffer yet the machine keeps retiring.
+        let s = stream(|i| {
+            DynInst::new(InstId::new(i), OpClass::Store, ExecMode::User)
+                .with_addr((i % 128) * 32)
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        core.run(1_000);
+        let stats = core.run(5_000);
+        assert!(stats.store_stall_cycles > 0, "expected store-buffer backpressure");
+        assert_eq!(stats.stores, 5_000);
+        assert!(stats.ipc() > 0.3);
+    }
+
+    #[test]
+    fn lsq_capacity_limits_inflight_memory_ops() {
+        // All loads to one cold line: the first miss is slow, the LSQ (32)
+        // plus ROB (64) bound how many can queue; lsq_full must register.
+        let s = stream(|i| {
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
+                .with_addr((i % 2048) * 32)
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Ideal(1), 1), s).unwrap();
+        let stats = core.run(5_000);
+        assert!(
+            stats.lsq_full_cycles > 0,
+            "an all-load stream must hit the load/store queue limit"
+        );
+    }
+
+    #[test]
+    fn rob_full_registers_on_long_latency_head() {
+        // A load miss at the window head with independent work behind it
+        // fills the reorder buffer.
+        let s = stream(|i| {
+            if i % 200 == 0 {
+                DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
+                    .with_addr(0x40_0000 + i * 64)
+            } else {
+                DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
+            }
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), 1), s).unwrap();
+        let stats = core.run(10_000);
+        assert!(stats.rob_full_cycles > 0);
+    }
+
+    #[test]
+    fn accessors_report_progress() {
+        let s = stream(|i| DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User));
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        assert_eq!(core.retired(), 0);
+        core.run(100);
+        assert_eq!(core.retired(), 100);
+        assert!(core.now() >= 25, "four-wide machine needs at least 25 cycles");
+        assert_eq!(core.mem().stats().stores, 0);
+    }
+
+    #[test]
+    fn workload_driven_ipc_is_sane() {
+        use hbc_workloads::{Benchmark, WorkloadGen};
+        for b in [Benchmark::Gcc, Benchmark::Tomcatv, Benchmark::Database] {
+            let gen = WorkloadGen::new(b, 7);
+            let mut core =
+                Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), 1), gen).unwrap();
+            core.run(5_000);
+            let stats = core.run(20_000);
+            assert!(
+                stats.ipc() > 0.3 && stats.ipc() < 4.0,
+                "{b}: implausible IPC {}",
+                stats.ipc()
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The four-issue dynamic superscalar processor of Wilson & Olukotun,
+//! *"Designing High Bandwidth On-Chip Caches"* (ISCA 1997).
+//!
+//! A cycle-level out-of-order core in the mold of the paper's MXS simulator:
+//! four-wide fetch/issue/commit, a 64-entry instruction window, a 32-entry
+//! load/store queue, R10000 functional-unit latencies, no issue-class
+//! restrictions, non-blocking loads, buffered stores written at commit, a
+//! perfect single-cycle instruction cache, and fetch squelching on
+//! mispredicted branches until they resolve.
+//!
+//! The core is driven by any infinite [`hbc_isa::DynInst`] stream —
+//! usually an [`hbc_workloads::WorkloadGen`] — and talks to an
+//! [`hbc_mem::MemSystem`] for loads and stores.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_cpu::{Core, CpuConfig};
+//! use hbc_mem::{MemConfig, MemSystem, PortModel};
+//! use hbc_workloads::{Benchmark, WorkloadGen};
+//!
+//! let mem = MemSystem::new(MemConfig::paper_sram(32 << 10, 1, PortModel::Duplicate))?;
+//! let mut core = Core::new(CpuConfig::paper(), mem, WorkloadGen::new(Benchmark::Gcc, 1))?;
+//! core.run(2_000); // warm up
+//! let ipc = core.run(10_000).ipc();
+//! assert!(ipc > 0.0);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod core;
+mod predictor;
+mod stats;
+
+pub use crate::core::Core;
+pub use config::CpuConfig;
+pub use predictor::Gshare;
+pub use stats::RunStats;

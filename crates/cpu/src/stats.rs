@@ -1,0 +1,70 @@
+//! Processor statistics.
+
+/// Statistics for one measured simulation window.
+///
+/// Produced by [`crate::Core::run`]; instructions retired during the window
+/// divided by the cycles it took give the paper's IPC metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instructions retired in the window.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Mispredicted control transfers retired.
+    pub mispredicts: u64,
+    /// Cycles in which nothing could be dispatched because the reorder
+    /// buffer was full.
+    pub rob_full_cycles: u64,
+    /// Cycles in which a memory operation could not dispatch because the
+    /// load/store queue was full.
+    pub lsq_full_cycles: u64,
+    /// Cycles fetch was squelched waiting for a mispredicted branch.
+    pub fetch_stall_cycles: u64,
+    /// Cycles commit was blocked by a full store buffer.
+    pub store_stall_cycles: u64,
+    /// Sum over retired loads of (completion - dispatch) cycles.
+    pub load_latency_sum: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean latency from dispatch to data return over retired loads.
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_math() {
+        let s = RunStats { instructions: 200, cycles: 100, ..RunStats::default() };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert_eq!(RunStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn load_latency_math() {
+        let s = RunStats { loads: 4, load_latency_sum: 20, ..RunStats::default() };
+        assert!((s.avg_load_latency() - 5.0).abs() < 1e-12);
+        assert_eq!(RunStats::default().avg_load_latency(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Functional-unit latencies.
+
+use crate::OpClass;
+
+/// Execution latencies per operation class, in processor cycles.
+///
+/// For loads and stores the table holds only the **address-calculation**
+/// latency; the memory-system latency (cache hit time, misses) is added by
+/// the memory hierarchy. This matches the paper's note that "the load
+/// latency is actually one cycle greater than the cache access time due to
+/// the load's address calculation" (Section 3.1).
+///
+/// # Example
+///
+/// ```
+/// use hbc_isa::{LatencyTable, OpClass};
+///
+/// let lat = LatencyTable::r10000();
+/// assert_eq!(lat.latency(OpClass::Load), 1);   // address calculation only
+/// assert_eq!(lat.latency(OpClass::IntMul), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyTable {
+    int_alu: u32,
+    int_mul: u32,
+    int_div: u32,
+    addr_calc: u32,
+    branch: u32,
+    fp_add: u32,
+    fp_mul: u32,
+    fp_div: u32,
+    fp_sqrt: u32,
+}
+
+impl LatencyTable {
+    /// MIPS R10000 instruction latencies [Yeag96], the paper's processor
+    /// model.
+    pub fn r10000() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 6,
+            int_div: 35,
+            addr_calc: 1,
+            branch: 1,
+            fp_add: 2,
+            fp_mul: 2,
+            fp_div: 19,
+            fp_sqrt: 33,
+        }
+    }
+
+    /// A uniform single-cycle table, useful for isolating memory effects in
+    /// tests and ablations.
+    pub fn uniform_single_cycle() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 1,
+            int_div: 1,
+            addr_calc: 1,
+            branch: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_div: 1,
+            fp_sqrt: 1,
+        }
+    }
+
+    /// Execution latency of `op` in cycles (address calculation only for
+    /// memory operations).
+    pub fn latency(&self, op: OpClass) -> u32 {
+        match op {
+            OpClass::IntAlu => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::IntDiv => self.int_div,
+            OpClass::Load | OpClass::Store => self.addr_calc,
+            OpClass::Branch | OpClass::Jump => self.branch,
+            OpClass::FpAdd => self.fp_add,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::FpSqrt => self.fp_sqrt,
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    /// The R10000 table.
+    fn default() -> Self {
+        LatencyTable::r10000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r10000_values() {
+        let t = LatencyTable::r10000();
+        assert_eq!(t.latency(OpClass::IntAlu), 1);
+        assert_eq!(t.latency(OpClass::Branch), 1);
+        assert_eq!(t.latency(OpClass::Jump), 1);
+        assert_eq!(t.latency(OpClass::FpAdd), 2);
+        assert_eq!(t.latency(OpClass::FpMul), 2);
+        assert_eq!(t.latency(OpClass::FpDiv), 19);
+        assert_eq!(t.latency(OpClass::FpSqrt), 33);
+        assert_eq!(t.latency(OpClass::IntDiv), 35);
+        assert_eq!(t.latency(OpClass::Store), 1);
+    }
+
+    #[test]
+    fn every_class_has_positive_latency() {
+        for table in [LatencyTable::r10000(), LatencyTable::uniform_single_cycle()] {
+            for op in OpClass::ALL {
+                assert!(table.latency(op) >= 1, "{op} must take at least one cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_r10000() {
+        assert_eq!(LatencyTable::default(), LatencyTable::r10000());
+    }
+}

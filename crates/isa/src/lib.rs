@@ -1,0 +1,31 @@
+//! Instruction-set abstractions shared by the workload generator and the
+//! processor model.
+//!
+//! The study is timing-driven: instructions carry everything the pipeline
+//! needs to schedule them (operation class, producers of their source
+//! operands, memory address, branch outcome) but no architectural semantics.
+//! Latencies follow the MIPS R10000, the machine the paper's MXS simulator
+//! models.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_isa::{DynInst, ExecMode, InstId, LatencyTable, OpClass};
+//!
+//! let lat = LatencyTable::r10000();
+//! assert_eq!(lat.latency(OpClass::IntAlu), 1);
+//! assert_eq!(lat.latency(OpClass::FpDiv), 19);
+//!
+//! let inst = DynInst::new(InstId::new(7), OpClass::IntAlu, ExecMode::User);
+//! assert!(!inst.is_mem());
+//! ```
+
+#![warn(missing_docs)]
+
+mod inst;
+mod latency;
+mod op;
+
+pub use inst::{DynInst, ExecMode, InstId};
+pub use latency::LatencyTable;
+pub use op::OpClass;

@@ -1,0 +1,131 @@
+//! Operation classes.
+
+use std::fmt;
+
+/// The class of a dynamic instruction, as far as pipeline timing is
+/// concerned.
+///
+/// The paper's processor places "no restrictions on the type of instructions
+/// that can be issued each cycle" (Section 3.1), so classes matter only for
+/// execution latency and for routing loads and stores to the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump, call, or return.
+    Jump,
+    /// Floating-point add or subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order (useful for tables and
+    /// exhaustive tests).
+    pub const ALL: [OpClass; 11] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+    ];
+
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// `true` for loads.
+    pub fn is_load(self) -> bool {
+        self == OpClass::Load
+    }
+
+    /// `true` for stores.
+    pub fn is_store(self) -> bool {
+        self == OpClass::Store
+    }
+
+    /// `true` for control transfers (conditional branches and jumps).
+    pub fn is_control(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Jump)
+    }
+
+    /// `true` for floating-point operations.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Jump => "jump",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::FpSqrt => "fp-sqrt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(OpClass::Load.is_mem() && OpClass::Load.is_load());
+        assert!(OpClass::Store.is_mem() && OpClass::Store.is_store());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::Branch.is_control() && OpClass::Jump.is_control());
+        assert!(OpClass::FpDiv.is_fp() && !OpClass::IntDiv.is_fp());
+    }
+
+    #[test]
+    fn all_lists_every_class_once() {
+        for (i, a) in OpClass::ALL.iter().enumerate() {
+            for b in &OpClass::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(OpClass::ALL.len(), 11);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            let s = op.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s), "duplicate display for {op:?}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A generic set-associative cache tag array with LRU replacement.
+
+use crate::addr::line_index;
+
+/// A set-associative tag array (no data — the simulator is timing-only).
+///
+/// # Example
+///
+/// ```
+/// use hbc_mem::CacheArray;
+///
+/// let mut c = CacheArray::new(4096, 2, 32); // 4 KB, 2-way, 32 B lines
+/// assert!(!c.probe(0x1000));
+/// c.touch(0x1000);
+/// assert!(c.probe(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    size_bytes: u64,
+    assoc: u32,
+    line_bytes: u64,
+    sets: u64,
+    /// `tags[set * assoc + way]`: the cached line index, or `None`.
+    tags: Vec<Option<u64>>,
+    /// Per-way last-use stamps for LRU.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl CacheArray {
+    /// Creates a cache of `size_bytes` with `assoc` ways and
+    /// `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, not a power of two where required,
+    /// or if the geometry yields no sets.
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u64) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0, "cache geometry must be non-zero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes;
+        assert!(lines >= u64::from(assoc), "cache smaller than one set");
+        let sets = lines / u64::from(assoc);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheArray {
+            size_bytes,
+            assoc,
+            line_bytes,
+            sets,
+            tags: vec![None; (sets * u64::from(assoc)) as usize],
+            stamps: vec![0; (sets * u64::from(assoc)) as usize],
+            clock: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        line % self.sets
+    }
+
+    fn ways(&self, set: u64) -> std::ops::Range<usize> {
+        let base = (set * u64::from(self.assoc)) as usize;
+        base..base + self.assoc as usize
+    }
+
+    /// `true` if the line containing `addr` is present (does not update
+    /// LRU state).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = line_index(addr, self.line_bytes);
+        let set = self.set_of(line);
+        self.ways(set).any(|w| self.tags[w] == Some(line))
+    }
+
+    /// Accesses `addr`: on a hit, updates LRU and returns `true`; on a
+    /// miss, inserts the line (evicting the LRU way) and returns `false`.
+    ///
+    /// Returns the evicted line index through [`CacheArray::touch_evict`]
+    /// when the caller needs it.
+    pub fn touch(&mut self, addr: u64) -> bool {
+        self.touch_evict(addr).hit
+    }
+
+    /// Like [`CacheArray::touch`] but also reports any evicted line.
+    pub fn touch_evict(&mut self, addr: u64) -> TouchResult {
+        self.clock += 1;
+        let line = line_index(addr, self.line_bytes);
+        let set = self.set_of(line);
+        for w in self.ways(set) {
+            if self.tags[w] == Some(line) {
+                self.stamps[w] = self.clock;
+                return TouchResult { hit: true, evicted: None };
+            }
+        }
+        // Miss: fill the invalid or least recently used way.
+        let victim = self
+            .ways(set)
+            .min_by_key(|&w| if self.tags[w].is_none() { (0, 0) } else { (1, self.stamps[w]) })
+            .expect("every set has at least one way");
+        let evicted = self.tags[victim];
+        self.tags[victim] = Some(line);
+        self.stamps[victim] = self.clock;
+        TouchResult { hit: false, evicted }
+    }
+
+    /// Removes the line containing `addr` if present; returns whether it
+    /// was.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = line_index(addr, self.line_bytes);
+        let set = self.set_of(line);
+        for w in self.ways(set) {
+            if self.tags[w] == Some(line) {
+                self.tags[w] = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.tags.iter().filter(|t| t.is_some()).count() as u64
+    }
+}
+
+/// Result of [`CacheArray::touch_evict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line index displaced by the fill, if any.
+    pub evicted: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = CacheArray::new(4096, 2, 32);
+        assert!(!c.touch(0x100));
+        assert!(c.touch(0x100));
+        assert!(c.touch(0x104), "same line, different offset");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct-mapped-ish: 2 ways, force 3 lines into one set.
+        let mut c = CacheArray::new(64, 2, 32); // one set, two ways
+        assert_eq!(c.sets(), 1);
+        c.touch(0 * 32);
+        c.touch(1 * 32);
+        c.touch(0 * 32); // line 0 most recent
+        let r = c.touch_evict(2 * 32); // evicts line 1
+        assert_eq!(r.evicted, Some(1));
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn sets_isolate_lines() {
+        let mut c = CacheArray::new(4096, 2, 32); // 64 sets
+        c.touch(0);
+        c.touch(32); // different set
+        assert!(c.probe(0) && c.probe(32));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = CacheArray::new(4096, 2, 32);
+        c.touch(0x40);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = CacheArray::new(4096, 2, 32);
+        assert_eq!(c.occupancy(), 0);
+        for i in 0..10 {
+            c.touch(i * 32);
+        }
+        assert_eq!(c.occupancy(), 10);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_misses() {
+        let mut c = CacheArray::new(4096, 2, 32);
+        // Stream over 8 KB twice: second pass still misses (capacity).
+        let mut second_pass_hits = 0;
+        for _ in 0..2 {
+            for i in 0..256u64 {
+                if c.touch(i * 32) {
+                    second_pass_hits += 1;
+                }
+            }
+        }
+        assert!(second_pass_hits < 200, "got {second_pass_hits} hits");
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits() {
+        let mut c = CacheArray::new(4096, 2, 32);
+        let mut hits = 0;
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                if c.touch(i * 32) {
+                    hits += 1;
+                }
+            }
+            if pass == 0 {
+                assert_eq!(hits, 0);
+            }
+        }
+        assert_eq!(hits, 64, "whole second pass must hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size() {
+        let _ = CacheArray::new(4096, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn cache_smaller_than_assoc() {
+        let _ = CacheArray::new(32, 4, 32);
+    }
+}

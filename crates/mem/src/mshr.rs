@@ -1,0 +1,172 @@
+//! Miss status handling registers (lock-up-free cache support, [Fark94]).
+
+/// A file of miss status handling registers.
+///
+/// Each entry tracks one outstanding L1 line fill and the cycle its data
+/// returns. Secondary misses to the same line merge into the existing entry.
+/// The paper's primary data cache has four MSHRs (Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use hbc_mem::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(4);
+/// assert!(mshrs.allocate(100, 250).is_ok());
+/// assert_eq!(mshrs.pending(100), Some(250)); // merge target for line 100
+/// mshrs.retire(250);
+/// assert_eq!(mshrs.pending(100), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// (line index, fill-complete cycle).
+    entries: Vec<(u64, u64)>,
+    peak: usize,
+    allocations: u64,
+    merges: u64,
+    full_rejections: u64,
+}
+
+/// Error returned when all MSHRs are busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrFullError;
+
+impl std::fmt::Display for MshrFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all miss status handling registers are busy")
+    }
+}
+
+impl std::error::Error for MshrFullError {}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one MSHR");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            peak: 0,
+            allocations: 0,
+            merges: 0,
+            full_rejections: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of outstanding misses.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// If `line` is already outstanding, returns its fill-complete cycle
+    /// (a *secondary* miss merges with it and counts as a merge).
+    pub fn pending(&self, line: u64) -> Option<u64> {
+        self.entries.iter().find(|(l, _)| *l == line).map(|(_, c)| *c)
+    }
+
+    /// Records a merge with an outstanding miss for statistics.
+    pub fn note_merge(&mut self) {
+        self.merges += 1;
+    }
+
+    /// Allocates a register for a primary miss on `line` completing at
+    /// `complete_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrFullError`] when every register is busy; the requester
+    /// must retry on a later cycle.
+    pub fn allocate(&mut self, line: u64, complete_at: u64) -> Result<(), MshrFullError> {
+        debug_assert!(self.pending(line).is_none(), "primary miss on an outstanding line");
+        if self.entries.len() == self.capacity {
+            self.full_rejections += 1;
+            return Err(MshrFullError);
+        }
+        self.entries.push((line, complete_at));
+        self.peak = self.peak.max(self.entries.len());
+        self.allocations += 1;
+        Ok(())
+    }
+
+    /// Frees every register whose fill completed at or before `now`.
+    pub fn retire(&mut self, now: u64) {
+        self.entries.retain(|(_, c)| *c > now);
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total primary-miss allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total secondary-miss merges recorded.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Times a request found the file full.
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(4);
+        for line in 0..4 {
+            assert!(m.allocate(line, 100).is_ok());
+        }
+        assert_eq!(m.allocate(99, 100), Err(MshrFullError));
+        assert_eq!(m.full_rejections(), 1);
+        assert_eq!(m.in_flight(), 4);
+        assert_eq!(m.peak(), 4);
+    }
+
+    #[test]
+    fn retire_frees_completed() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 50).unwrap();
+        m.allocate(2, 80).unwrap();
+        m.retire(50);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.pending(2), Some(80));
+        assert_eq!(m.pending(1), None);
+        m.retire(80);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(1);
+        m.allocate(7, 120).unwrap();
+        assert_eq!(m.pending(7), Some(120));
+        m.note_merge();
+        assert_eq!(m.merges(), 1);
+        // The file is full, but line 7 requests never need a new entry.
+        assert!(m.allocate(8, 130).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Memory-system statistics.
+
+/// Counters accumulated by [`crate::MemSystem`] over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Load requests presented (including retried rejections).
+    pub load_requests: u64,
+    /// Loads satisfied by the line buffer in one cycle.
+    pub lb_hits: u64,
+    /// Loads that hit in the primary cache.
+    pub l1_load_hits: u64,
+    /// Loads that missed in the primary cache (primary or secondary miss).
+    pub l1_load_misses: u64,
+    /// Loads merged into an outstanding miss.
+    pub miss_merges: u64,
+    /// Loads denied a port or bank this cycle.
+    pub load_rejections: u64,
+    /// Loads denied because all MSHRs were busy.
+    pub mshr_rejections: u64,
+    /// Stores accepted into the store buffer.
+    pub stores: u64,
+    /// Stores that missed in the primary cache when draining.
+    pub store_misses: u64,
+    /// Second-level (L2 SRAM or DRAM cache) hits.
+    pub l2_hits: u64,
+    /// Second-level misses (fills from main memory).
+    pub l2_misses: u64,
+}
+
+impl MemStats {
+    /// Loads actually serviced (line buffer + cache hits + misses).
+    pub fn loads_serviced(&self) -> u64 {
+        self.lb_hits + self.l1_load_hits + self.l1_load_misses
+    }
+
+    /// Fraction of serviced loads satisfied by the line buffer.
+    pub fn lb_hit_ratio(&self) -> f64 {
+        ratio(self.lb_hits, self.loads_serviced())
+    }
+
+    /// L1 miss ratio over serviced loads (line-buffer hits count as hits).
+    pub fn load_miss_ratio(&self) -> f64 {
+        ratio(self.l1_load_misses, self.loads_serviced())
+    }
+
+    /// Second-level miss ratio.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        ratio(self.l2_misses, self.l2_hits + self.l2_misses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = MemStats::default();
+        assert_eq!(s.lb_hit_ratio(), 0.0);
+        assert_eq!(s.load_miss_ratio(), 0.0);
+        assert_eq!(s.l2_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = MemStats {
+            lb_hits: 50,
+            l1_load_hits: 40,
+            l1_load_misses: 10,
+            l2_hits: 8,
+            l2_misses: 2,
+            ..MemStats::default()
+        };
+        assert_eq!(s.loads_serviced(), 100);
+        assert!((s.lb_hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.load_miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.l2_miss_ratio() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Cache timing models for the high-bandwidth on-chip cache study.
+//!
+//! This crate reproduces the timing side of Wilson & Olukotun, *"Designing
+//! High Bandwidth On-Chip Caches"* (ISCA 1997):
+//!
+//! * technology-independent delays expressed in **fan-out-of-four** units
+//!   ([`Fo4`]), anchored at a 25 FO4 processor cycle for a machine whose
+//!   critical path is a single-cycle 8 KB primary data cache,
+//! * a CACTI-style analytical component model ([`cacti`]) used to reason
+//!   about cache organizations (sub-arrays, banking),
+//! * the paper's **Figure 1** access-time curves for single-ported and
+//!   eight-way banked SRAM caches from 4 KB to 1 MB ([`AccessTimeModel`]),
+//! * the pipelining fit rules of Section 2.2: how many processor cycles a
+//!   cache of a given size needs, and the largest cache that fits a given
+//!   cycle time and pipeline depth (module [`pipeline`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_timing::{AccessTimeModel, CacheSize, PortStructure};
+//!
+//! let model = AccessTimeModel::default();
+//! let t = model.access_time(CacheSize::from_kib(8), PortStructure::SinglePorted)?;
+//! assert_eq!(t.get(), 25.0); // the paper's calibration anchor
+//! # Ok::<(), hbc_timing::SizeOutOfRangeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod access;
+pub mod cacti;
+mod fo4;
+pub mod pipeline;
+mod size;
+mod tech;
+
+pub use access::{AccessTimeModel, Fig1Row, PortStructure, SizeOutOfRangeError};
+pub use fo4::{Fo4, Nanoseconds};
+pub use size::CacheSize;
+pub use tech::Technology;

@@ -1,0 +1,544 @@
+//! The nine benchmarks of the study (paper Table 1).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::regions::PatternSpec;
+use crate::spec::{BenchmarkSpec, Group, Table2Row};
+
+/// The nine benchmarks: three SPEC95 integer, three SPEC95 floating point,
+/// and three SimOS multiprogramming workloads.
+///
+/// # Example
+///
+/// ```
+/// use hbc_workloads::{Benchmark, Group};
+///
+/// assert_eq!(Benchmark::ALL.len(), 9);
+/// assert_eq!(Benchmark::Tomcatv.group(), Group::SpecFp95);
+/// assert_eq!("database".parse::<Benchmark>()?, Benchmark::Database);
+/// # Ok::<(), hbc_workloads::UnknownBenchmarkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// SPEC95 gcc: builds SPARC code.
+    Gcc,
+    /// SPEC95 li: LISP interpreter.
+    Li,
+    /// SPEC95 compress: compresses and decompresses a file in memory.
+    Compress,
+    /// SPEC95 tomcatv: mesh-generation program.
+    Tomcatv,
+    /// SPEC95 su2cor: quantum physics, Monte Carlo simulation.
+    Su2cor,
+    /// SPEC95 apsi: temperature, wind, velocity and pollutant distribution.
+    Apsi,
+    /// SimOS pmake: two parallel compilation processes over 17 files.
+    Pmake,
+    /// SimOS database: Sybase SQL server running TPC-B-style transactions.
+    Database,
+    /// SimOS VCS: Chronologic VCS simulating the Stanford FLASH MAGIC chip.
+    Vcs,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in the paper's Table 1 order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Gcc,
+        Benchmark::Li,
+        Benchmark::Compress,
+        Benchmark::Tomcatv,
+        Benchmark::Su2cor,
+        Benchmark::Apsi,
+        Benchmark::Pmake,
+        Benchmark::Database,
+        Benchmark::Vcs,
+    ];
+
+    /// The three representatives the paper plots: gcc (integer), tomcatv
+    /// (floating point), and database (multiprogramming).
+    pub const REPRESENTATIVES: [Benchmark; 3] =
+        [Benchmark::Gcc, Benchmark::Tomcatv, Benchmark::Database];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gcc => "gcc",
+            Benchmark::Li => "li",
+            Benchmark::Compress => "compress",
+            Benchmark::Tomcatv => "tomcatv",
+            Benchmark::Su2cor => "su2cor",
+            Benchmark::Apsi => "apsi",
+            Benchmark::Pmake => "pmake",
+            Benchmark::Database => "database",
+            Benchmark::Vcs => "VCS",
+        }
+    }
+
+    /// Benchmark group.
+    pub fn group(self) -> Group {
+        match self {
+            Benchmark::Gcc | Benchmark::Li | Benchmark::Compress => Group::SpecInt95,
+            Benchmark::Tomcatv | Benchmark::Su2cor | Benchmark::Apsi => Group::SpecFp95,
+            Benchmark::Pmake | Benchmark::Database | Benchmark::Vcs => Group::Multiprogramming,
+        }
+    }
+
+    /// The full synthetic-model specification for this benchmark.
+    pub fn spec(self) -> BenchmarkSpec {
+        match self {
+            Benchmark::Gcc => gcc(),
+            Benchmark::Li => li(),
+            Benchmark::Compress => compress(),
+            Benchmark::Tomcatv => tomcatv(),
+            Benchmark::Su2cor => su2cor(),
+            Benchmark::Apsi => apsi(),
+            Benchmark::Pmake => pmake(),
+            Benchmark::Database => database(),
+            Benchmark::Vcs => vcs(),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmarkError {
+    given: String,
+}
+
+impl fmt::Display for UnknownBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}` (expected one of the nine Table 1 names)", self.given)
+    }
+}
+
+impl std::error::Error for UnknownBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = UnknownBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownBenchmarkError { given: s.to_owned() })
+    }
+}
+
+const KB: u64 = 1024;
+
+fn default_kernel_mem() -> Vec<(f64, PatternSpec)> {
+    vec![
+        (0.40, PatternSpec::Stack { footprint: 6 * KB }),
+        (0.40, PatternSpec::Random { footprint: 32 * KB, reuse: 0.64 }),
+        (0.20, PatternSpec::Random { footprint: 384 * KB, reuse: 0.50 }),
+    ]
+}
+
+fn gcc() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gcc",
+        description: "Builds SPARC code",
+        group: Group::SpecInt95,
+        table2: Table2Row {
+            kernel_pct: 10.0,
+            user_pct: 90.0,
+            idle_pct: 0.0,
+            load_pct: 28.1,
+            store_pct: 12.2,
+        },
+        branch_frac: 0.16,
+        branch_accuracy: 0.94,
+        taken_frac: 0.60,
+        fp_frac: 0.01,
+        int_long_frac: 0.03,
+        fp_long_frac: 0.05,
+        dep_mean: 6.0,
+        load_use_prob: 0.40,
+        two_src_prob: 0.40,
+        user_mem: vec![
+            (0.55, PatternSpec::Stack { footprint: 3 * KB }),
+            (0.38, PatternSpec::Random { footprint: 6 * KB, reuse: 0.80 }),
+            (0.05, PatternSpec::Random { footprint: 64 * KB, reuse: 0.70 }),
+            (0.02, PatternSpec::Random { footprint: 512 * KB, reuse: 0.60 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn li() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "li",
+        description: "LISP interpreter",
+        group: Group::SpecInt95,
+        table2: Table2Row {
+            kernel_pct: 0.2,
+            user_pct: 99.8,
+            idle_pct: 0.0,
+            load_pct: 33.2,
+            store_pct: 13.0,
+        },
+        branch_frac: 0.17,
+        branch_accuracy: 0.95,
+        taken_frac: 0.62,
+        fp_frac: 0.0,
+        int_long_frac: 0.01,
+        fp_long_frac: 0.0,
+        dep_mean: 5.0,
+        load_use_prob: 0.42,
+        two_src_prob: 0.35,
+        user_mem: vec![
+            (0.50, PatternSpec::Stack { footprint: 3 * KB }),
+            (0.08, PatternSpec::Chase { footprint: 6 * KB }),
+            (0.38, PatternSpec::Random { footprint: 6 * KB, reuse: 0.75 }),
+            (0.04, PatternSpec::Random { footprint: 128 * KB, reuse: 0.62 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn compress() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "compress",
+        description: "Compresses and decompresses file in memory",
+        group: Group::SpecInt95,
+        table2: Table2Row {
+            kernel_pct: 8.4,
+            user_pct: 91.6,
+            idle_pct: 0.0,
+            load_pct: 34.5,
+            store_pct: 8.0,
+        },
+        branch_frac: 0.14,
+        branch_accuracy: 0.93,
+        taken_frac: 0.58,
+        fp_frac: 0.0,
+        int_long_frac: 0.02,
+        fp_long_frac: 0.0,
+        dep_mean: 5.5,
+        load_use_prob: 0.38,
+        two_src_prob: 0.40,
+        user_mem: vec![
+            (0.42, PatternSpec::Stack { footprint: 3 * KB }),
+            // Hash-table probes over the compression dictionary.
+            (0.48, PatternSpec::Random { footprint: 24 * KB, reuse: 0.80 }),
+            // Sequential input/output streaming (never fits on-chip).
+            (0.04, PatternSpec::Strided { footprint: 8192 * KB, stride: 8, streams: 2 }),
+            (0.06, PatternSpec::Random { footprint: 192 * KB, reuse: 0.70 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn tomcatv() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "tomcatv",
+        description: "Mesh-generation program",
+        group: Group::SpecFp95,
+        table2: Table2Row {
+            kernel_pct: 0.4,
+            user_pct: 99.6,
+            idle_pct: 0.0,
+            load_pct: 26.9,
+            store_pct: 8.5,
+        },
+        branch_frac: 0.03,
+        branch_accuracy: 0.99,
+        taken_frac: 0.85,
+        fp_frac: 0.78,
+        int_long_frac: 0.01,
+        fp_long_frac: 0.03,
+        dep_mean: 16.0,
+        load_use_prob: 0.12,
+        two_src_prob: 0.55,
+        user_mem: vec![
+            // Seven mesh arrays swept each iteration. The combined arrays
+            // exceed every on-chip size including the 4 MB DRAM cache (the
+            // paper finds tomcatv's IPC flat from 32 KB to 1 MB, and the
+            // 512-byte row cache costs tomcatv 17% against 32-byte lines);
+            // the column sweeps carry a 2 KB stride that long rows cannot
+            // prefetch.
+            (0.065, PatternSpec::Strided { footprint: 6144 * KB, stride: 8, streams: 4 }),
+            (0.035, PatternSpec::Strided { footprint: 6144 * KB, stride: 2048, streams: 3 }),
+            (0.34, PatternSpec::Stack { footprint: 2 * KB }),
+            (0.52, PatternSpec::Random { footprint: 6 * KB, reuse: 0.80 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn su2cor() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "su2cor",
+        description: "Quantum physics; Monte Carlo simulation",
+        group: Group::SpecFp95,
+        table2: Table2Row {
+            kernel_pct: 0.5,
+            user_pct: 99.5,
+            idle_pct: 0.0,
+            load_pct: 28.0,
+            store_pct: 6.3,
+        },
+        branch_frac: 0.04,
+        branch_accuracy: 0.985,
+        taken_frac: 0.82,
+        fp_frac: 0.72,
+        int_long_frac: 0.01,
+        fp_long_frac: 0.05,
+        dep_mean: 14.0,
+        load_use_prob: 0.12,
+        two_src_prob: 0.55,
+        user_mem: vec![
+            // Lattice arrays that fit once the cache reaches 128 KB: the
+            // "radical drop at a specific size" of the SPEC95 fp codes.
+            (0.25, PatternSpec::Strided { footprint: 96 * KB, stride: 8, streams: 3 }),
+            (0.03, PatternSpec::Strided { footprint: 96 * KB, stride: 1024, streams: 1 }),
+            (0.26, PatternSpec::Stack { footprint: 2 * KB }),
+            (0.46, PatternSpec::Random { footprint: 8 * KB, reuse: 0.76 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn apsi() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "apsi",
+        description: "Temperature, wind, velocity and pollutant distribution",
+        group: Group::SpecFp95,
+        table2: Table2Row {
+            kernel_pct: 2.2,
+            user_pct: 97.8,
+            idle_pct: 0.0,
+            load_pct: 40.0,
+            store_pct: 11.7,
+        },
+        branch_frac: 0.05,
+        branch_accuracy: 0.98,
+        taken_frac: 0.80,
+        fp_frac: 0.70,
+        int_long_frac: 0.01,
+        fp_long_frac: 0.06,
+        dep_mean: 12.0,
+        load_use_prob: 0.15,
+        two_src_prob: 0.50,
+        user_mem: vec![
+            // Field arrays that fit at 512 KB; half the sweeps are
+            // column-order (1 KB stride).
+            (0.19, PatternSpec::Strided { footprint: 448 * KB, stride: 8, streams: 4 }),
+            (0.05, PatternSpec::Strided { footprint: 448 * KB, stride: 1024, streams: 2 }),
+            (0.22, PatternSpec::Stack { footprint: 3 * KB }),
+            (0.48, PatternSpec::Random { footprint: 8 * KB, reuse: 0.78 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+fn pmake() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "pmake",
+        description: "Two compilation processes for 17 files",
+        group: Group::Multiprogramming,
+        table2: Table2Row {
+            kernel_pct: 8.9,
+            user_pct: 86.0,
+            idle_pct: 5.1,
+            load_pct: 25.8,
+            store_pct: 11.9,
+        },
+        branch_frac: 0.16,
+        branch_accuracy: 0.93,
+        taken_frac: 0.60,
+        fp_frac: 0.01,
+        int_long_frac: 0.02,
+        fp_long_frac: 0.0,
+        dep_mean: 5.5,
+        load_use_prob: 0.40,
+        two_src_prob: 0.40,
+        user_mem: vec![
+            (0.46, PatternSpec::Stack { footprint: 4 * KB }),
+            (0.34, PatternSpec::Random { footprint: 8 * KB, reuse: 0.75 }),
+            (0.15, PatternSpec::Random { footprint: 96 * KB, reuse: 0.68 }),
+            (0.05, PatternSpec::Random { footprint: 640 * KB, reuse: 0.60 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 2,
+        ctx_interval: 30_000,
+    }
+}
+
+fn database() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "database",
+        description: "Sybase SQL server, TPC-B-style transaction processing",
+        group: Group::Multiprogramming,
+        table2: Table2Row {
+            kernel_pct: 18.4,
+            user_pct: 17.0,
+            idle_pct: 64.6,
+            load_pct: 24.8,
+            store_pct: 13.6,
+        },
+        branch_frac: 0.15,
+        branch_accuracy: 0.92,
+        taken_frac: 0.58,
+        fp_frac: 0.0,
+        int_long_frac: 0.02,
+        fp_long_frac: 0.0,
+        dep_mean: 5.0,
+        load_use_prob: 0.40,
+        two_src_prob: 0.40,
+        user_mem: vec![
+            (0.36, PatternSpec::Stack { footprint: 4 * KB }),
+            (0.03, PatternSpec::Chase { footprint: 64 * KB }),
+            (0.30, PatternSpec::Random { footprint: 12 * KB, reuse: 0.76 }),
+            (0.21, PatternSpec::Random { footprint: 128 * KB, reuse: 0.70 }),
+            (0.10, PatternSpec::Random { footprint: 1536 * KB, reuse: 0.70 }),
+        ],
+        kernel_mem: vec![
+            (0.46, PatternSpec::Stack { footprint: 6 * KB }),
+            (0.38, PatternSpec::Random { footprint: 48 * KB, reuse: 0.74 }),
+            (0.16, PatternSpec::Random { footprint: 512 * KB, reuse: 0.68 }),
+        ],
+        processes: 2,
+        ctx_interval: 20_000,
+    }
+}
+
+fn vcs() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "VCS",
+        description: "Chronologic VCS simulating the Stanford FLASH MAGIC chip",
+        group: Group::Multiprogramming,
+        table2: Table2Row {
+            kernel_pct: 9.9,
+            user_pct: 90.1,
+            idle_pct: 0.0,
+            load_pct: 25.7,
+            store_pct: 15.1,
+        },
+        branch_frac: 0.14,
+        branch_accuracy: 0.94,
+        taken_frac: 0.60,
+        fp_frac: 0.02,
+        int_long_frac: 0.02,
+        fp_long_frac: 0.05,
+        dep_mean: 5.5,
+        load_use_prob: 0.38,
+        two_src_prob: 0.42,
+        user_mem: vec![
+            (0.42, PatternSpec::Stack { footprint: 4 * KB }),
+            (0.38, PatternSpec::Random { footprint: 16 * KB, reuse: 0.74 }),
+            (0.06, PatternSpec::Strided { footprint: 256 * KB, stride: 16, streams: 3 }),
+            (0.14, PatternSpec::Random { footprint: 448 * KB, reuse: 0.64 }),
+        ],
+        kernel_mem: default_kernel_mem(),
+        processes: 1,
+        ctx_interval: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for b in Benchmark::ALL {
+            b.spec().validate().unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn specs_carry_table2_values() {
+        let t = Benchmark::Database.spec().table2;
+        assert_eq!(t.kernel_pct, 18.4);
+        assert_eq!(t.idle_pct, 64.6);
+        assert_eq!(t.load_pct, 24.8);
+        let g = Benchmark::Gcc.spec().table2;
+        assert_eq!(g.load_pct, 28.1);
+        assert_eq!(g.store_pct, 12.2);
+    }
+
+    #[test]
+    fn groups_partition_three_by_three() {
+        for g in [Group::SpecInt95, Group::SpecFp95, Group::Multiprogramming] {
+            assert_eq!(Benchmark::ALL.iter().filter(|b| b.group() == g).count(), 3);
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_have_more_ilp_than_int() {
+        let fp_min = Benchmark::ALL
+            .iter()
+            .filter(|b| b.group() == Group::SpecFp95)
+            .map(|b| b.spec().dep_mean)
+            .fold(f64::INFINITY, f64::min);
+        let int_max = Benchmark::ALL
+            .iter()
+            .filter(|b| b.group() != Group::SpecFp95)
+            .map(|b| b.spec().dep_mean)
+            .fold(0.0, f64::max);
+        assert!(fp_min > int_max, "fp dep_mean ({fp_min}) must exceed int ({int_max})");
+    }
+
+    #[test]
+    fn multiprogramming_uses_multiple_processes() {
+        assert!(Benchmark::Pmake.spec().processes > 1);
+        assert!(Benchmark::Database.spec().processes > 1);
+        assert_eq!(Benchmark::Gcc.spec().processes, 1);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+        }
+        assert_eq!("TOMCATV".parse::<Benchmark>().unwrap(), Benchmark::Tomcatv);
+        let err = "mcf".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("mcf"));
+    }
+
+    #[test]
+    fn representatives_cover_each_group() {
+        let groups: Vec<Group> = Benchmark::REPRESENTATIVES.iter().map(|b| b.group()).collect();
+        assert_eq!(groups, vec![Group::SpecInt95, Group::SpecFp95, Group::Multiprogramming]);
+    }
+
+    #[test]
+    fn working_sets_order_gcc_below_database() {
+        // The representative integer benchmark has a much smaller working
+        // set than the representative multiprogramming benchmark (paper
+        // Figure 3 discussion). The aggregate footprint counts every
+        // process's copy of the user patterns plus the kernel regions.
+        let total = |b: Benchmark| {
+            let spec = b.spec();
+            let user: u64 = spec.user_mem.iter().map(|(_, p)| p.footprint()).sum();
+            let kernel: u64 = spec.kernel_mem.iter().map(|(_, p)| p.footprint()).sum();
+            user * u64::from(spec.processes) + kernel
+        };
+        assert!(
+            total(Benchmark::Database) > 2 * total(Benchmark::Gcc),
+            "database WS must dwarf gcc: {} vs {}",
+            total(Benchmark::Database),
+            total(Benchmark::Gcc)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic synthetic workload models for the nine benchmarks of
+//! Wilson & Olukotun, *"Designing High Bandwidth On-Chip Caches"*
+//! (ISCA 1997).
+//!
+//! The paper drives its simulations with SimOS running IRIX 5.3: SPEC95
+//! integer (gcc, li, compress), SPEC95 floating point (tomcatv, su2cor,
+//! apsi), and three multiprogramming workloads (pmake, database, VCS),
+//! including operating-system references. Those traces are not available;
+//! this crate substitutes parameterized stochastic models that reproduce the
+//! properties the paper's results actually depend on:
+//!
+//! * the instruction mix of Table 2 (load/store percentages, kernel vs user
+//!   split, idle time),
+//! * group-level instruction-level parallelism (floating-point codes carry
+//!   long dependency distances, integer codes short ones),
+//! * branch density and predictability per group,
+//! * working-set structure that reproduces the Figure 3 miss-rate-vs-size
+//!   curves: stack-like high-locality references, irregular working sets,
+//!   array sweeps with sharp miss drops, dependent pointer chases, and
+//!   multi-process context switching.
+//!
+//! Every stream is a pure function of `(spec, seed)` — see [`WorkloadGen`].
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_workloads::{Benchmark, StreamStats, WorkloadGen};
+//!
+//! let mut gen = WorkloadGen::new(Benchmark::Tomcatv, 42);
+//! let stats = StreamStats::characterize(&mut gen, 10_000);
+//! assert!(stats.fp_pct() > 20.0); // tomcatv is floating-point heavy
+//! ```
+
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod gen;
+mod regions;
+mod rng;
+mod spec;
+mod stats;
+
+pub use benchmarks::{Benchmark, UnknownBenchmarkError};
+pub use gen::WorkloadGen;
+pub use regions::PatternSpec;
+pub use rng::Rng;
+pub use spec::{BenchmarkSpec, Group, Table2Row};
+pub use stats::StreamStats;

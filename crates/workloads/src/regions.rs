@@ -1,0 +1,295 @@
+//! Memory reference pattern models.
+//!
+//! Each benchmark's data references are modeled as a weighted mixture of
+//! *patterns*, each with its own footprint and locality structure:
+//!
+//! * [`PatternSpec::Strided`] — unit-or-small-stride sweeps over arrays,
+//!   the dominant pattern of the floating-point codes (tomcatv, su2cor,
+//!   apsi). Misses are compulsory per line until the arrays fit in the
+//!   cache, producing the "radical drops in miss rates at specific cache
+//!   sizes" the paper observes for SPEC95 fp (Section 4).
+//! * [`PatternSpec::Random`] — uniform references within a working set,
+//!   modeling hashed/irregular structures; the miss rate falls gradually
+//!   as capacity approaches the footprint, like the integer codes.
+//! * [`PatternSpec::Stack`] — a random walk with strong spatial and
+//!   temporal locality, modeling activation records and hot scalars; it
+//!   provides the short-reuse references that a line buffer captures.
+//! * [`PatternSpec::Chase`] — dependent pointer chasing: each address is a
+//!   uniform pick, but the *load that uses it depends on the previous chase
+//!   load*, serializing memory-level parallelism (LISP cells in li, B-tree
+//!   descent in database).
+
+use crate::Rng;
+
+/// Window of address space owned by one pattern instance (32 MB).
+const REGION_WINDOW_PAGES: u64 = 8192;
+/// Page size used for scattering (4 KB, as on the paper's IRIX machine).
+const PAGE_BYTES: u64 = 4096;
+
+/// Translates a logical offset within a region to a page-scattered address.
+///
+/// Real operating systems place the pages of a data structure at
+/// effectively arbitrary physical frames, so a region's cache sets are
+/// loaded uniformly rather than piling every region onto the low sets.
+/// The translation permutes 4 KB pages inside the region's 32 MB window
+/// with an odd multiplier (a bijection modulo a power of two), preserving
+/// locality within each page.
+fn scatter(base: u64, offset: u64) -> u64 {
+    let page = offset / PAGE_BYTES;
+    let lo = offset % PAGE_BYTES;
+    let frame = page.wrapping_mul(0x9E37_79B9_7F4A_7C15) % REGION_WINDOW_PAGES;
+    base + frame * PAGE_BYTES + lo
+}
+
+/// Hot-block granularity of irregular structures (one 64-byte record).
+const HOT_BLOCK: u64 = 64;
+
+/// Spacing between hot blocks.
+///
+/// Heap records are not packed: a hot 64-byte record sits among cold
+/// neighbours, so only a fraction of any *long* cache line is useful.
+/// Spreading each hot block across `DISPERSAL` bytes (20% occupancy)
+/// leaves 32- and 64-byte-line caches unaffected while making the 512-byte
+/// DRAM row-buffer cache of Section 2.4 pay the conflict/fragmentation
+/// penalty the paper observes for its long lines.
+const DISPERSAL: u64 = 320;
+
+/// Maps a dense logical offset of an irregular region to its dispersed
+/// offset (bijective over the region's hot blocks; the span grows 5x).
+fn disperse(offset: u64, footprint: u64) -> u64 {
+    let block = offset / HOT_BLOCK;
+    let within = offset % HOT_BLOCK;
+    (block * DISPERSAL + within) % (footprint * (DISPERSAL / HOT_BLOCK)).max(DISPERSAL)
+}
+
+/// Specification of one reference pattern (footprints in bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternSpec {
+    /// `streams` interleaved sequential sweeps of `stride` bytes covering a
+    /// combined `footprint`.
+    Strided {
+        /// Total bytes covered by all streams.
+        footprint: u64,
+        /// Access stride in bytes.
+        stride: u64,
+        /// Number of concurrently advancing streams.
+        streams: u32,
+    },
+    /// Uniform references within `footprint` bytes, with a tunable
+    /// probability of re-referencing the previously touched line (spatial
+    /// locality: real irregular code touches two to four words per line).
+    Random {
+        /// Working-set size in bytes.
+        footprint: u64,
+        /// Probability that a reference re-touches the previous line at a
+        /// different offset instead of picking a new random line.
+        reuse: f64,
+    },
+    /// High-locality random walk within `footprint` bytes.
+    Stack {
+        /// Region size in bytes.
+        footprint: u64,
+    },
+    /// Dependent pointer chase within `footprint` bytes.
+    Chase {
+        /// Pool size in bytes.
+        footprint: u64,
+    },
+}
+
+impl PatternSpec {
+    /// The pattern's footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        match *self {
+            PatternSpec::Strided { footprint, .. }
+            | PatternSpec::Random { footprint, .. }
+            | PatternSpec::Stack { footprint }
+            | PatternSpec::Chase { footprint } => footprint,
+        }
+    }
+
+    /// `true` if loads from this pattern serialize on the previous load.
+    pub fn is_dependent(&self) -> bool {
+        matches!(self, PatternSpec::Chase { .. })
+    }
+}
+
+/// Instantiated pattern state bound to a base address.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PatternState {
+    spec: PatternSpec,
+    base: u64,
+    /// Per-stream cursors (strided), or walk position (stack), or current
+    /// pointer (chase).
+    cursors: Vec<u64>,
+    next_stream: usize,
+}
+
+impl PatternState {
+    pub(crate) fn new(spec: PatternSpec, base: u64, rng: &mut Rng) -> Self {
+        let cursors = match spec {
+            PatternSpec::Strided { footprint, streams, .. } => {
+                let streams = streams.max(1) as u64;
+                // Skew each stream's start by a non-power-of-two amount so
+                // concurrent streams do not alias to the same cache set (as
+                // real arrays allocated at arbitrary offsets do not).
+                (0..streams).map(|i| (i * (footprint / streams) + i * 104) % footprint).collect()
+            }
+            PatternSpec::Stack { footprint } => vec![footprint / 2],
+            PatternSpec::Chase { footprint } => vec![rng.below(footprint.max(8)) & !7],
+            PatternSpec::Random { footprint, .. } => vec![rng.below(footprint.max(8)) & !7],
+        };
+        PatternState { spec, base, cursors, next_stream: 0 }
+    }
+
+    pub(crate) fn spec(&self) -> PatternSpec {
+        self.spec
+    }
+
+    /// Produces the next referenced address (8-byte aligned).
+    pub(crate) fn next_addr(&mut self, rng: &mut Rng) -> u64 {
+        match self.spec {
+            PatternSpec::Strided { footprint, stride, streams } => {
+                let streams = streams.max(1) as usize;
+                let i = self.next_stream;
+                self.next_stream = (self.next_stream + 1) % streams;
+                let at = self.cursors[i];
+                self.cursors[i] = (at + stride) % footprint.max(stride);
+                scatter(self.base, at & !7)
+            }
+            PatternSpec::Random { footprint, reuse } => {
+                let pos = &mut self.cursors[0];
+                if rng.chance(reuse) {
+                    // Re-touch the same 32-byte line at another word.
+                    *pos = (*pos & !31) | (rng.below(4) * 8);
+                } else {
+                    *pos = rng.below(footprint.max(8)) & !7;
+                }
+                scatter(self.base, disperse(*pos, footprint))
+            }
+            PatternSpec::Stack { footprint } => {
+                // Short random walk: mostly re-touch the same few lines,
+                // occasionally jump a frame (128 B) up or down.
+                let pos = &mut self.cursors[0];
+                if rng.chance(0.12) {
+                    let frame = 128;
+                    *pos = if rng.chance(0.5) { pos.saturating_sub(frame) } else { *pos + frame };
+                } else {
+                    let jitter = rng.below(64) & !7;
+                    *pos = (*pos & !63) + jitter;
+                }
+                if *pos >= footprint {
+                    *pos = footprint / 2;
+                }
+                scatter(self.base, *pos & !7)
+            }
+            PatternSpec::Chase { footprint } => {
+                let next = rng.below(footprint.max(8)) & !7;
+                self.cursors[0] = next;
+                scatter(self.base, disperse(next, footprint))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(spec: PatternSpec, n: usize) -> Vec<u64> {
+        let mut rng = Rng::new(1);
+        let mut st = PatternState::new(spec, 0x10_0000, &mut rng);
+        (0..n).map(|_| st.next_addr(&mut rng)).collect()
+    }
+
+    #[test]
+    fn strided_advances_by_stride() {
+        let a = addrs(PatternSpec::Strided { footprint: 1024, stride: 8, streams: 1 }, 4);
+        assert_eq!(a, vec![0x10_0000, 0x10_0008, 0x10_0010, 0x10_0018]);
+    }
+
+    #[test]
+    fn strided_wraps_within_footprint() {
+        let a = addrs(PatternSpec::Strided { footprint: 64, stride: 16, streams: 1 }, 10);
+        for addr in &a {
+            assert!((0x10_0000..0x10_0000 + 64).contains(addr));
+        }
+        assert_eq!(a[4], a[0], "sweep should wrap after footprint/stride accesses");
+    }
+
+    #[test]
+    fn strided_streams_interleave() {
+        let a = addrs(PatternSpec::Strided { footprint: 1024, stride: 8, streams: 2 }, 4);
+        // Stream 0 starts at 0, stream 1 near half the footprint (skewed by
+        // 104 bytes to avoid cache-set aliasing between streams).
+        assert_eq!(a[0], 0x10_0000);
+        assert_eq!(a[1], 0x10_0000 + 512 + 104);
+        assert_eq!(a[2], 0x10_0008);
+        assert_eq!(a[3], 0x10_0000 + 512 + 104 + 8);
+    }
+
+    #[test]
+    fn random_stays_in_dispersed_window() {
+        // Hot blocks are dispersed at 20% occupancy, so a 4 KB footprint
+        // spans 5x the bytes — still inside the region's address window.
+        let span = 4096 * 5;
+        for addr in addrs(PatternSpec::Random { footprint: 4096, reuse: 0.5 }, 1000) {
+            assert!((0x10_0000..0x10_0000 + 32 * (1 << 20)).contains(&addr));
+            let _ = span;
+            assert_eq!(addr % 8, 0, "addresses are 8-byte aligned");
+        }
+    }
+
+    #[test]
+    fn dispersal_keeps_distinct_lines_distinct() {
+        // The hot-block dispersal is a bijection: two logical lines never
+        // collapse onto one physical line.
+        let mut seen = std::collections::HashMap::new();
+        for logical_line in 0..128u64 {
+            let phys = super::disperse(logical_line * 32, 4096) / 32;
+            if let Some(prev) = seen.insert(phys, logical_line) {
+                panic!("lines {prev} and {logical_line} collide at {phys}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_reuse_controls_line_locality() {
+        let same_line_frac = |reuse| {
+            let a = addrs(PatternSpec::Random { footprint: 1 << 20, reuse }, 4000);
+            a.windows(2).filter(|w| w[0] / 32 == w[1] / 32).count() as f64 / (a.len() - 1) as f64
+        };
+        assert!(same_line_frac(0.0) < 0.01);
+        let hot = same_line_frac(0.6);
+        assert!((0.5..0.7).contains(&hot), "observed {hot}");
+    }
+
+    #[test]
+    fn stack_has_high_line_locality() {
+        let a = addrs(PatternSpec::Stack { footprint: 4096 }, 2000);
+        let same_line = a
+            .windows(2)
+            .filter(|w| w[0] / 32 == w[1] / 32)
+            .count();
+        let frac = same_line as f64 / (a.len() - 1) as f64;
+        assert!(frac > 0.4, "stack walk should mostly re-touch lines, got {frac}");
+        for addr in a {
+            assert!((0x10_0000..0x10_0000 + 4096).contains(&addr));
+        }
+    }
+
+    #[test]
+    fn chase_is_dependent() {
+        assert!(PatternSpec::Chase { footprint: 1 << 20 }.is_dependent());
+        assert!(!PatternSpec::Random { footprint: 1 << 20, reuse: 0.5 }.is_dependent());
+    }
+
+    #[test]
+    fn footprint_accessor() {
+        assert_eq!(PatternSpec::Stack { footprint: 4096 }.footprint(), 4096);
+        assert_eq!(
+            PatternSpec::Strided { footprint: 65536, stride: 8, streams: 4 }.footprint(),
+            65536
+        );
+    }
+}

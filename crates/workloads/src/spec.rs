@@ -1,0 +1,274 @@
+//! Benchmark specification data.
+
+use std::fmt;
+
+use crate::regions::PatternSpec;
+
+/// The three benchmark groups of the study (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// SPEC95 integer: gcc, li, compress.
+    SpecInt95,
+    /// SPEC95 floating point: tomcatv, su2cor, apsi.
+    SpecFp95,
+    /// SimOS multiprogramming: pmake, database, VCS.
+    Multiprogramming,
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Group::SpecInt95 => f.write_str("SPEC95 integer"),
+            Group::SpecFp95 => f.write_str("SPEC95 floating point"),
+            Group::Multiprogramming => f.write_str("SimOS multiprogramming"),
+        }
+    }
+}
+
+/// One row of the paper's Table 2: execution-time percentages and the
+/// fraction of loads and stores in the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Percent of execution time in kernel mode.
+    pub kernel_pct: f64,
+    /// Percent of execution time in user mode.
+    pub user_pct: f64,
+    /// Percent of execution time idle (waiting for I/O); excluded from IPC.
+    pub idle_pct: f64,
+    /// Percent of the instruction stream that is loads.
+    pub load_pct: f64,
+    /// Percent of the instruction stream that is stores.
+    pub store_pct: f64,
+}
+
+impl Table2Row {
+    /// Fraction of *non-idle* instructions executed in kernel mode.
+    pub fn kernel_frac(&self) -> f64 {
+        let non_idle = self.kernel_pct + self.user_pct;
+        if non_idle <= 0.0 {
+            0.0
+        } else {
+            self.kernel_pct / non_idle
+        }
+    }
+}
+
+/// Complete parameterization of one synthetic benchmark model.
+///
+/// This is a passive configuration record (fields are public by design);
+/// the nine instances shipped with the crate live in
+/// [`crate::Benchmark::spec`]. The parameters substitute for the paper's
+/// SimOS/IRIX workloads: instruction mix and mode split come straight from
+/// Table 2, while ILP, branch behaviour, and the memory mixture are tuned so
+/// the per-benchmark miss-rate-versus-size curves reproduce Figure 3 and the
+/// group-level scheduling behaviour matches Section 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Short benchmark name ("gcc").
+    pub name: &'static str,
+    /// One-line description (paper Table 1).
+    pub description: &'static str,
+    /// Benchmark group.
+    pub group: Group,
+    /// Execution-time and instruction-mix percentages (paper Table 2).
+    pub table2: Table2Row,
+    /// Fraction of the instruction stream that is control transfers.
+    pub branch_frac: f64,
+    /// Probability the front end predicts a control transfer correctly.
+    pub branch_accuracy: f64,
+    /// Probability a conditional branch is taken.
+    pub taken_frac: f64,
+    /// Fraction of non-memory, non-branch operations that are floating
+    /// point.
+    pub fp_frac: f64,
+    /// Fraction of integer compute ops that are multiplies (divides are a
+    /// tenth of this).
+    pub int_long_frac: f64,
+    /// Fraction of fp compute ops that are divides or square roots.
+    pub fp_long_frac: f64,
+    /// Mean register dependency distance, in instructions; larger means
+    /// more instruction-level parallelism.
+    pub dep_mean: f64,
+    /// Probability that a source operand is the value of a recent load
+    /// (tight load-use chains make performance sensitive to cache latency).
+    pub load_use_prob: f64,
+    /// Probability a compute instruction has a second source operand.
+    pub two_src_prob: f64,
+    /// Weighted user-mode reference patterns (weights need not sum to one;
+    /// they are normalized).
+    pub user_mem: Vec<(f64, PatternSpec)>,
+    /// Weighted kernel-mode reference patterns.
+    pub kernel_mem: Vec<(f64, PatternSpec)>,
+    /// Number of processes (greater than one for the multiprogramming
+    /// workloads; each gets its own copy of the user patterns).
+    pub processes: u32,
+    /// Instructions between context switches when `processes > 1`.
+    pub ctx_interval: u64,
+}
+
+impl BenchmarkSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: fractions
+    /// must be probabilities, the instruction mix must fit in 100%, and at
+    /// least one user pattern with positive weight is required.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = &self.table2;
+        let mix = t.load_pct + t.store_pct + self.branch_frac * 100.0;
+        if mix >= 100.0 {
+            return Err(format!("{}: loads+stores+branches exceed 100% ({mix:.1})", self.name));
+        }
+        for (label, v) in [
+            ("branch_frac", self.branch_frac),
+            ("branch_accuracy", self.branch_accuracy),
+            ("taken_frac", self.taken_frac),
+            ("fp_frac", self.fp_frac),
+            ("int_long_frac", self.int_long_frac),
+            ("fp_long_frac", self.fp_long_frac),
+            ("two_src_prob", self.two_src_prob),
+            ("load_use_prob", self.load_use_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {label} = {v} is not a probability", self.name));
+            }
+        }
+        if self.dep_mean < 1.0 {
+            return Err(format!("{}: dep_mean must be at least 1", self.name));
+        }
+        if self.user_mem.iter().all(|(w, _)| *w <= 0.0) {
+            return Err(format!("{}: needs at least one weighted user pattern", self.name));
+        }
+        if self.processes == 0 {
+            return Err(format!("{}: needs at least one process", self.name));
+        }
+        if self.processes > 1 && self.ctx_interval == 0 {
+            return Err(format!("{}: multi-process spec needs a context-switch interval", self.name));
+        }
+        Ok(())
+    }
+
+    /// Sum of the (possibly unnormalized) user pattern weights.
+    pub fn user_weight_total(&self) -> f64 {
+        self.user_mem.iter().map(|(w, _)| w).sum()
+    }
+
+    /// Largest single-pattern footprint, a proxy for working-set size.
+    pub fn max_footprint(&self) -> u64 {
+        self.user_mem.iter().map(|(_, p)| p.footprint()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "test",
+            description: "test",
+            group: Group::SpecInt95,
+            table2: Table2Row {
+                kernel_pct: 10.0,
+                user_pct: 90.0,
+                idle_pct: 0.0,
+                load_pct: 30.0,
+                store_pct: 10.0,
+            },
+            branch_frac: 0.15,
+            branch_accuracy: 0.92,
+            taken_frac: 0.6,
+            fp_frac: 0.0,
+            int_long_frac: 0.02,
+            fp_long_frac: 0.0,
+            dep_mean: 3.0,
+            load_use_prob: 0.3,
+            two_src_prob: 0.4,
+            user_mem: vec![(1.0, PatternSpec::Random { footprint: 4096, reuse: 0.5 })],
+            kernel_mem: vec![(1.0, PatternSpec::Random { footprint: 4096, reuse: 0.5 })],
+            processes: 1,
+            ctx_interval: 0,
+        }
+    }
+
+    #[test]
+    fn minimal_is_valid() {
+        assert_eq!(minimal().validate(), Ok(()));
+    }
+
+    #[test]
+    fn kernel_frac_splits_non_idle_time() {
+        let row = Table2Row {
+            kernel_pct: 18.4,
+            user_pct: 17.0,
+            idle_pct: 64.6,
+            load_pct: 24.8,
+            store_pct: 13.6,
+        };
+        assert!((row.kernel_frac() - 0.5198).abs() < 1e-3);
+    }
+
+    #[test]
+    fn over_full_mix_rejected() {
+        let mut s = minimal();
+        s.table2.load_pct = 80.0;
+        s.table2.store_pct = 30.0;
+        assert!(s.validate().unwrap_err().contains("exceed"));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut s = minimal();
+        s.branch_accuracy = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn empty_patterns_rejected() {
+        let mut s = minimal();
+        s.user_mem.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn multiprocess_needs_interval() {
+        let mut s = minimal();
+        s.processes = 2;
+        s.ctx_interval = 0;
+        assert!(s.validate().is_err());
+        s.ctx_interval = 1000;
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn max_footprint_reports_largest() {
+        let mut s = minimal();
+        s.user_mem.push((0.1, PatternSpec::Strided { footprint: 1 << 20, stride: 8, streams: 2 }));
+        assert_eq!(s.max_footprint(), 1 << 20);
+    }
+
+    #[test]
+    fn group_display() {
+        assert_eq!(Group::SpecFp95.to_string(), "SPEC95 floating point");
+    }
+
+    #[test]
+    fn kernel_frac_handles_all_idle() {
+        let row = Table2Row {
+            kernel_pct: 0.0,
+            user_pct: 0.0,
+            idle_pct: 100.0,
+            load_pct: 10.0,
+            store_pct: 5.0,
+        };
+        assert_eq!(row.kernel_frac(), 0.0);
+    }
+
+    #[test]
+    fn user_weight_total_sums() {
+        let mut s = minimal();
+        s.user_mem.push((0.5, PatternSpec::Stack { footprint: 1024 }));
+        assert!((s.user_weight_total() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! Validating the fixed-accuracy branch model: run a real gshare predictor
+//! over each benchmark's synthetic branch-outcome stream and compare its
+//! accuracy to the `branch_accuracy` the workload spec assumes.
+//!
+//! ```text
+//! cargo run --release --example branch_prediction
+//! ```
+
+use hbcache::cpu::Gshare;
+use hbcache::isa::OpClass;
+use hbcache::workloads::{Benchmark, WorkloadGen};
+
+fn main() {
+    println!(
+        "{:<10}  {:>10}  {:>10}  {:>10}",
+        "benchmark", "spec acc", "gshare acc", "branches"
+    );
+    for b in Benchmark::ALL {
+        let spec_acc = b.spec().branch_accuracy;
+        let mut predictor = Gshare::new(13);
+        // The stream has no PCs; synthesize stable per-site addresses from
+        // a small rotating set, keyed off the branch's position in its
+        // basic block (id modulo a window) — enough for gshare to build
+        // per-context history.
+        let mut gen = WorkloadGen::new(b, 42);
+        let mut branches = 0u64;
+        while branches < 100_000 {
+            let inst = gen.next_inst();
+            if inst.op() == OpClass::Branch {
+                let pc = 0x1_0000 + (inst.id().get() % 64) * 4;
+                predictor.predict_and_update(pc, inst.taken());
+                branches += 1;
+            }
+        }
+        println!(
+            "{:<10}  {:>9.1}%  {:>9.1}%  {:>10}",
+            b.name(),
+            100.0 * spec_acc,
+            100.0 * predictor.accuracy(),
+            predictor.predictions()
+        );
+    }
+    println!(
+        "\nThe synthetic outcome streams are Bernoulli per branch, so gshare can\n\
+         capture only the taken-rate bias, not per-site patterns; the spec's\n\
+         branch_accuracy models the *additional* per-site predictability real\n\
+         programs expose. The gap between the two columns is therefore the\n\
+         structure the Bernoulli model abstracts away."
+    );
+}

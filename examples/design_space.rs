@@ -1,0 +1,64 @@
+//! Design-space exploration: for one benchmark, sweep cache size and
+//! pipeline depth, then pick the best organization at several processor
+//! cycle times — the decision procedure of the paper's Section 4.4.
+//!
+//! ```text
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use hbcache::core::exectime::scaled_memory_cycles;
+use hbcache::core::{Benchmark, SimBuilder};
+use hbcache::mem::PortModel;
+use hbcache::timing::{pipeline, AccessTimeModel, Fo4, PortStructure, Technology};
+
+fn main() {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("one of the nine Table 1 benchmark names"))
+        .unwrap_or(Benchmark::Database);
+    let model = AccessTimeModel::default();
+    let tech = Technology::default();
+
+    println!("design space for {benchmark}: duplicate cache + line buffer\n");
+    println!("{:>9}  {:>5}  {:>9}  {:>7}  {:>12}", "cycle", "hit", "cache", "IPC", "ns/instr");
+    let mut best: Option<(f64, String)> = None;
+    for cycle in [30.0, 27.5, 25.0, 22.5, 20.0, 17.5, 15.0, 12.5, 10.0] {
+        let cycle_fo4 = Fo4::new(cycle);
+        let (l2, mem) = scaled_memory_cycles(cycle_fo4, &tech);
+        for depth in 1..=3u64 {
+            let Some(cache) = pipeline::max_cache_size(
+                &model,
+                PortStructure::Duplicate,
+                cycle_fo4,
+                &tech,
+                depth as u32,
+            ) else {
+                continue;
+            };
+            let result = SimBuilder::new(benchmark)
+                .cache_size_kib(cache.kib())
+                .hit_cycles(depth)
+                .ports(PortModel::Duplicate)
+                .line_buffer(true)
+                .l2_hit_cycles(l2)
+                .mem_latency(mem)
+                .instructions(40_000)
+                .warmup(8_000)
+                .run();
+            let ns_per_instr = (result.run().cycles as f64
+                / result.run().instructions as f64)
+                * tech.cycle_ns(cycle_fo4).get();
+            println!(
+                "{cycle:>6} FO4  {depth:>4}~  {:>9}  {:>7.3}  {ns_per_instr:>12.3}",
+                cache.to_string(),
+                result.ipc()
+            );
+            let label = format!("{cycle} FO4, {depth}-cycle {cache} cache");
+            if best.as_ref().map(|(t, _)| ns_per_instr < *t).unwrap_or(true) {
+                best = Some((ns_per_instr, label));
+            }
+        }
+    }
+    let (time, label) = best.expect("at least one buildable configuration");
+    println!("\nbest organization: {label} ({time:.3} ns/instr)");
+}

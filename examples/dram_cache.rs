@@ -1,0 +1,53 @@
+//! The on-chip DRAM cache trade-off (paper Section 4.3): a 4 MB DRAM cache
+//! behind a 16 KB row-buffer cache versus an equal-area SRAM hierarchy.
+//!
+//! ```text
+//! cargo run --release --example dram_cache
+//! ```
+
+use hbcache::core::{Benchmark, SimBuilder};
+use hbcache::mem::PortModel;
+
+fn main() {
+    println!("4M on-chip DRAM cache (16K row-buffer L1, 512B rows) vs 16K SRAM + off-chip L2\n");
+    println!(
+        "{:<10}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "benchmark", "SRAM 16K", "DRAM 6~", "DRAM 7~", "DRAM 8~"
+    );
+    for b in Benchmark::ALL {
+        let sram = SimBuilder::new(b)
+            .cache_size_kib(16)
+            .ports(PortModel::Banked(8))
+            .line_buffer(true)
+            .instructions(40_000)
+            .warmup(8_000)
+            .run()
+            .ipc();
+        let dram: Vec<f64> = (6..=8)
+            .map(|hit| {
+                SimBuilder::new(b)
+                    .dram_cache(hit)
+                    .line_buffer(true)
+                    .instructions(40_000)
+                    .warmup(8_000)
+                    .run()
+                    .ipc()
+            })
+            .collect();
+        println!(
+            "{:<10}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
+            b.name(),
+            sram,
+            dram[0],
+            dram[1],
+            dram[2]
+        );
+    }
+    println!(
+        "\nWhat to look for (paper Section 4.3): the 512-byte rows cost conflict\n\
+         misses that the line buffer only partially hides, so on average the DRAM\n\
+         cache trails the SRAM system — but streaming working sets that fit 4 MB\n\
+         (tomcatv) flip the comparison, and each extra DRAM hit cycle costs a few\n\
+         percent of performance."
+    );
+}

@@ -1,0 +1,54 @@
+//! The line-buffer story (paper Section 4.2): how a 32-entry level-zero
+//! cache in the load/store unit raises port bandwidth and hides the latency
+//! of pipelined caches — and how it flips the banked-vs-duplicate ranking.
+//!
+//! ```text
+//! cargo run --release --example line_buffer_study
+//! ```
+
+use hbcache::core::{Benchmark, SimBuilder};
+use hbcache::mem::PortModel;
+
+fn ipc(b: Benchmark, ports: PortModel, hit: u64, lb: bool) -> f64 {
+    SimBuilder::new(b)
+        .cache_size_kib(32)
+        .hit_cycles(hit)
+        .ports(ports)
+        .line_buffer(lb)
+        .instructions(60_000)
+        .warmup(10_000)
+        .run()
+        .ipc()
+}
+
+fn main() {
+    println!("32 KB caches, fixed cycle time. LB = 32-entry line buffer.\n");
+    println!(
+        "{:<10} {:>4}  {:>17}  {:>17}",
+        "benchmark", "hit", "8-way banked", "duplicate"
+    );
+    println!("{:<10} {:>4}  {:>8} {:>8}  {:>8} {:>8}", "", "", "no LB", "LB", "no LB", "LB");
+    for b in Benchmark::REPRESENTATIVES {
+        for hit in 1..=3u64 {
+            let bk = ipc(b, PortModel::Banked(8), hit, false);
+            let bk_lb = ipc(b, PortModel::Banked(8), hit, true);
+            let dp = ipc(b, PortModel::Duplicate, hit, false);
+            let dp_lb = ipc(b, PortModel::Duplicate, hit, true);
+            println!(
+                "{:<10} {:>3}~  {:>8.3} {:>8.3}  {:>8.3} {:>8.3}",
+                b.name(),
+                hit,
+                bk,
+                bk_lb,
+                dp,
+                dp_lb
+            );
+        }
+    }
+    println!(
+        "\nThe paper's observation to check: without a line buffer the banked cache\n\
+         at least matches the duplicate cache, but with one the duplicate cache is\n\
+         on average as good or better — and the line buffer's gain grows with the\n\
+         cache pipeline depth because it returns recently used data in one cycle."
+    );
+}

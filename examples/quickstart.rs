@@ -1,0 +1,33 @@
+//! Quickstart: simulate one benchmark on the paper's default machine and
+//! print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hbcache::core::{Benchmark, SimBuilder};
+use hbcache::mem::PortModel;
+
+fn main() {
+    // gcc on a 32 KB two-way duplicate cache with a single-cycle hit and
+    // the paper's line buffer in the load/store unit.
+    let result = SimBuilder::new(Benchmark::Gcc)
+        .cache_size_kib(32)
+        .hit_cycles(1)
+        .ports(PortModel::Duplicate)
+        .line_buffer(true)
+        .instructions(100_000)
+        .warmup(10_000)
+        .run();
+
+    println!("benchmark          : {}", result.benchmark());
+    println!("IPC                : {:.3}", result.ipc());
+    println!("avg load latency   : {:.1} cycles", result.run().avg_load_latency());
+    println!("line-buffer hits   : {}", result.mem().lb_hits);
+    println!(
+        "L1 load miss ratio : {:.2}% (line-buffer hits count as hits)",
+        100.0 * result.mem().load_miss_ratio()
+    );
+    println!("L2 miss ratio      : {:.2}%", 100.0 * result.mem().l2_miss_ratio());
+    println!("mispredicts        : {}", result.run().mispredicts);
+}

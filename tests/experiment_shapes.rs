@@ -1,0 +1,90 @@
+//! Shape checks for every experiment driver: row/column counts, header
+//! consistency, and CSV export — cheap guarantees that each table/figure
+//! binary emits what EXPERIMENTS.md documents.
+
+use hbcache::core::experiments::{
+    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, ExpParams,
+};
+use hbcache::core::Benchmark;
+
+fn tiny() -> ExpParams {
+    let mut p = ExpParams::fast();
+    p.instructions = 4_000;
+    p.warmup = 800;
+    p.cache_warm = 150_000;
+    p.benchmarks = vec![Benchmark::Li];
+    p
+}
+
+#[test]
+fn fig1_shape() {
+    let t = fig1::run();
+    assert_eq!(t.len(), 9);
+    assert!(t.to_csv().starts_with("size,"));
+}
+
+#[test]
+fn table1_shape() {
+    assert_eq!(table1::run().len(), 9);
+}
+
+#[test]
+fn table2_shape() {
+    let t = table2::run(&tiny());
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows()[0].len(), 8);
+}
+
+#[test]
+fn fig3_shape() {
+    let t = fig3::run(&tiny());
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.rows()[0].len(), 10, "benchmark + nine sizes");
+}
+
+#[test]
+fn fig4_shape() {
+    let t = fig4::run(&tiny());
+    assert_eq!(t.len(), 3, "three hit times");
+    assert_eq!(t.rows()[0].len(), 6, "benchmark, hit, four port counts");
+}
+
+#[test]
+fn fig5_shape() {
+    let t = fig5::run(&tiny());
+    assert_eq!(t.len(), 3);
+    assert_eq!(t.rows()[0].len(), 7, "benchmark, hit, five bank counts");
+}
+
+#[test]
+fn fig6_shape() {
+    let t = fig6::run(&tiny());
+    assert_eq!(t.len(), 6, "two organizations x three hit times");
+}
+
+#[test]
+fn fig7_shape() {
+    let t = fig7::run(&tiny());
+    assert_eq!(t.len(), 3, "three DRAM hit times");
+}
+
+#[test]
+fn fig8_shape() {
+    let t = fig8::run(&tiny());
+    assert_eq!(t.len(), 12, "(benchmark + average) x six series");
+    assert_eq!(t.rows()[0].len(), 12, "benchmark, series, nine sizes, DRAM point");
+    // DRAM point only on the 1-cycle series.
+    assert_ne!(t.rows()[0][11], "-");
+    assert_eq!(t.rows()[1][11], "-");
+}
+
+#[test]
+fn fig9_shape() {
+    let t = fig9::run(&tiny());
+    assert_eq!(t.len(), 6, "(benchmark + average) x three depths");
+    // One-cycle caches are unbuildable below 24 FO4: the first cells of the
+    // 1~ row must be "-".
+    let one_cycle_row = &t.rows()[0];
+    assert_eq!(one_cycle_row[2], "-", "10 FO4 1~ must be unbuildable");
+    assert_ne!(one_cycle_row[10], "-", "30 FO4 1~ must be buildable");
+}
