@@ -1,0 +1,5 @@
+// Fixture: an annotated invariant-free Config passes without validate().
+// hbc-allow: config-validate (plain data; any value is meaningful)
+pub struct LabelConfig {
+    pub name: &'static str,
+}

@@ -1,0 +1,11 @@
+// Fixture: a Config struct with no validate() must fire.
+pub struct PrefetcherConfig {
+    pub degree: u32,
+    pub distance: u32,
+}
+
+impl PrefetcherConfig {
+    pub fn streams(&self) -> u32 {
+        self.degree
+    }
+}

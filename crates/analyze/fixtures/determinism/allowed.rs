@@ -1,0 +1,11 @@
+// Fixture: the same constructs under audited hbc-allow annotations pass.
+// hbc-allow: determinism (counts only; iteration order never observed)
+use std::collections::HashMap;
+
+pub fn misses_per_line(lines: &[u64]) -> u64 {
+    let mut map = HashMap::new(); // hbc-allow: determinism (counts only)
+    for l in lines {
+        *map.entry(*l).or_insert(0u64) += 1;
+    }
+    map.len() as u64
+}

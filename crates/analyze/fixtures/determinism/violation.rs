@@ -1,0 +1,13 @@
+// Fixture: nondeterministic constructs in a simulation crate must fire.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn misses_per_line(lines: &[u64]) -> HashMap<u64, u64> {
+    let started = Instant::now();
+    let mut map = HashMap::new();
+    for l in lines {
+        *map.entry(*l).or_insert(0u64) += 1;
+    }
+    let _ = started.elapsed();
+    map
+}

@@ -1,0 +1,12 @@
+// Fixture: annotated panic sites are excluded from the count; fallible
+// alternatives and assertions never count.
+pub fn pick(v: &[u64]) -> u64 {
+    assert!(!v.is_empty(), "caller contract");
+    let first = v.first().copied().unwrap_or(0);
+    // hbc-allow: panic (length checked by the assertion above)
+    let last = v.last().expect("checked non-empty");
+    if first > *last {
+        return 0;
+    }
+    *last
+}

@@ -1,0 +1,9 @@
+// Fixture: panic sites above the (zero) baseline must fire.
+pub fn pick(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("checked non-empty");
+    if first > last {
+        panic!("unsorted");
+    }
+    *last
+}

@@ -1,0 +1,18 @@
+// Fixture: constructors/accessors are exempt; other raw signatures pass
+// only under an audited annotation.
+pub fn new(fo4: f64) -> Self {
+    Self(fo4)
+}
+
+pub fn get(&self) -> f64 {
+    self.0
+}
+
+pub fn from_bytes(bytes: u64) -> Self {
+    Self(bytes)
+}
+
+// hbc-allow: units (cycle counts are the simulator's native integer type)
+pub fn to_cycles(&self, cycle: Nanoseconds) -> u64 {
+    (self.0 / cycle.get()).ceil() as u64
+}

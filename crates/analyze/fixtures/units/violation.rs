@@ -1,0 +1,4 @@
+// Fixture: a public timing function trafficking in raw f64 must fire.
+pub fn access_time(size_bytes: u64, fo4_per_level: f64) -> f64 {
+    (size_bytes as f64).log2() * fo4_per_level
+}

@@ -1,0 +1,73 @@
+//! Static analysis for the hbcache workspace.
+//!
+//! The simulator's core contract — every simulation is a pure function of
+//! (configuration, seed) — is not something the compiler checks. This crate
+//! does, with four rules over the workspace source:
+//!
+//! * [`rules::determinism`] — no nondeterministically ordered collections,
+//!   wall clocks, or ambient RNGs in simulation-state crates;
+//! * [`rules::units`] — public `hbc-timing` functions speak the FO4 /
+//!   nanosecond / cycle newtypes, not raw `f64`/`u64`;
+//! * [`rules::config_validate`] — every `*Config` struct has a `validate()`
+//!   and the crate actually calls validation somewhere;
+//! * [`rules::panic_path`] — `unwrap`/`expect`/`panic!` in non-test
+//!   simulator code is gated against a checked-in baseline that may only
+//!   shrink.
+//!
+//! Audited exceptions are written in the source as `// hbc-allow: <rule>`
+//! (same line or the line above) or `// hbc-allow-file: <rule>` for a whole
+//! file. The pass is a line/token scanner, not a full parser: it strips
+//! comments, strings, and `#[cfg(test)]` blocks, then matches identifier
+//! tokens — deliberately simple enough to audit by eye and dependency-free
+//! so it builds offline.
+//!
+//! Run it as `cargo run -p hbc-analyze -- check`.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (`determinism`, `units`, `config-validate`,
+    /// `panic`).
+    pub rule: &'static str,
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Crates that hold simulation state and are subject to the determinism
+/// rules. `hbc-bench` (reporting, wall-clock benchmarks), `hbc-ptest`
+/// (test harness), and this crate are deliberately outside the contract.
+pub const SIM_CRATES: &[&str] =
+    &["hbc-timing", "hbc-isa", "hbc-workloads", "hbc-mem", "hbc-cpu", "hbc-core"];
+
+/// Runs every rule over `files`; findings are sorted by path and line.
+pub fn run_all(
+    files: &[source::SourceFile],
+    baseline: &rules::panic_path::Baseline,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(rules::determinism::check(files));
+    findings.extend(rules::units::check(files));
+    findings.extend(rules::config_validate::check(files));
+    findings.extend(rules::panic_path::check(files, baseline));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}

@@ -1,0 +1,118 @@
+//! `hbc-analyze` CLI.
+//!
+//! * `cargo run -p hbc-analyze -- check` — run all rules; exit 1 on findings.
+//! * `cargo run -p hbc-analyze -- baseline` — rewrite the panic-path
+//!   baseline from the current source (use after reducing panic sites).
+//!
+//! Both accept an optional `--root <dir>`; by default the workspace root is
+//! found by walking up from the current directory.
+
+use hbc_analyze::rules::panic_path::{self, Baseline};
+use hbc_analyze::{run_all, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "check" | "baseline" if cmd.is_none() => {
+                cmd = Some(args[i].clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("hbc-analyze: unexpected argument `{other}`");
+                eprintln!("usage: hbc-analyze <check|baseline> [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(cmd) = cmd else {
+        eprintln!("usage: hbc-analyze <check|baseline> [--root <dir>]");
+        return ExitCode::from(2);
+    };
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current directory");
+            match workspace::find_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("hbc-analyze: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let files = match workspace::scan(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hbc-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = root.join("crates/analyze/panic_baseline.txt");
+
+    match cmd.as_str() {
+        "baseline" => {
+            let (counts, _) = panic_path::count_sites(&files);
+            let text = counts.iter().fold(String::new(), |mut s, (k, v)| {
+                s.push_str(&format!("{k} {v}\n"));
+                s
+            });
+            let baseline = Baseline::parse(&text);
+            if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+                eprintln!("hbc-analyze: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote {}", baseline_path.display());
+            for (k, v) in &counts {
+                println!("  {k} {v}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let baseline = match std::fs::read_to_string(&baseline_path) {
+                Ok(text) => Baseline::parse(&text),
+                Err(e) => {
+                    eprintln!(
+                        "hbc-analyze: missing panic baseline {}: {e} (run `hbc-analyze baseline`)",
+                        baseline_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let findings = run_all(&files, &baseline);
+            let scanned = files.len();
+            if findings.is_empty() {
+                let (counts, _) = panic_path::count_sites(&files);
+                println!("hbc-analyze: {scanned} files clean");
+                for (k, v) in &counts {
+                    let allowed = baseline.allowed(k);
+                    if *v < allowed {
+                        println!(
+                            "note: {k} has {v} panic sites, below baseline {allowed} — \
+                             tighten with `hbc-analyze baseline`"
+                        );
+                    }
+                }
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("hbc-analyze: {} finding(s) in {scanned} files", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!(),
+    }
+}

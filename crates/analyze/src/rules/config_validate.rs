@@ -1,0 +1,168 @@
+//! Rule `config-validate`: every `*Config` struct must have a `validate()`
+//! method, and the owning crate must actually call validation somewhere.
+//!
+//! A config struct without a checked `validate()` is how impossible cache
+//! geometries (zero banks, non-power-of-two lines) sneak into simulations
+//! and produce garbage numbers instead of errors.
+
+use crate::source::{tokens, SourceFile};
+use crate::{Finding, SIM_CRATES};
+
+/// Runs the rule over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for crate_name in SIM_CRATES {
+        let crate_files: Vec<&SourceFile> =
+            files.iter().filter(|f| f.crate_name == *crate_name).collect();
+        // Pass 1: which types have an inherent-impl `fn validate`?
+        let mut validated: Vec<String> = Vec::new();
+        let mut any_call = false;
+        for file in &crate_files {
+            collect_validated_impls(file, &mut validated);
+            if file.lines.iter().any(|l| !l.is_test && l.code.contains(".validate(")) {
+                any_call = true;
+            }
+        }
+        // Pass 2: every declared `*Config` struct must be in that set.
+        let mut configs = 0;
+        for file in &crate_files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                if line.is_test || file.allowed(lineno, "config-validate") {
+                    continue;
+                }
+                let toks: Vec<&str> = tokens(&line.code).map(|(_, t)| t).collect();
+                let Some(pos) = toks.iter().position(|t| *t == "struct") else { continue };
+                let Some(name) = toks.get(pos + 1) else { continue };
+                if !name.ends_with("Config") {
+                    continue;
+                }
+                configs += 1;
+                if !validated.iter().any(|v| v == name) {
+                    findings.push(Finding {
+                        rule: "config-validate",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "struct `{name}` has no `fn validate` in an `impl {name}` block"
+                        ),
+                    });
+                }
+            }
+        }
+        // Pass 3: validation that is never invoked is dead armor.
+        if configs > 0 && !any_call {
+            if let Some(first) = crate_files.first() {
+                findings.push(Finding {
+                    rule: "config-validate",
+                    path: first.path.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate {crate_name} declares Config structs but never calls .validate()"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Records type names whose inherent `impl` block contains `fn validate`.
+/// Trait impls (`impl Trait for Type`) attribute to `Type`, which is
+/// harmless for this rule.
+fn collect_validated_impls(file: &SourceFile, validated: &mut Vec<String>) {
+    let mut idx = 0;
+    while idx < file.lines.len() {
+        let line = &file.lines[idx];
+        let toks: Vec<&str> = tokens(&line.code).map(|(_, t)| t).collect();
+        let Some(pos) = toks.iter().position(|t| *t == "impl") else {
+            idx += 1;
+            continue;
+        };
+        // `impl Type` or `impl Trait for Type`.
+        let target = match toks.iter().position(|t| *t == "for") {
+            Some(fp) if fp > pos => toks.get(fp + 1),
+            _ => toks.get(pos + 1),
+        };
+        let Some(target) = target else {
+            idx += 1;
+            continue;
+        };
+        let target = target.to_string();
+        // Walk the impl block by brace depth, looking for `fn validate`.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = idx;
+        while j < file.lines.len() {
+            let code = &file.lines[j].code;
+            if code.contains("fn validate") && !validated.contains(&target) {
+                validated.push(target.clone());
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        idx = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)])
+    }
+
+    #[test]
+    fn flags_config_without_validate() {
+        let f = run("pub struct FooConfig {\n    pub x: u32,\n}\n");
+        assert!(f.iter().any(|f| f.message.contains("FooConfig")));
+    }
+
+    #[test]
+    fn validate_plus_call_passes() {
+        let text = "pub struct FooConfig { pub x: u32 }\n\
+                    impl FooConfig {\n    pub fn validate(&self) -> Result<(), E> { Ok(()) }\n}\n\
+                    pub fn build(c: &FooConfig) { c.validate().unwrap(); }\n";
+        assert!(run(text).is_empty());
+    }
+
+    #[test]
+    fn unused_validate_flagged() {
+        let text = "pub struct FooConfig { pub x: u32 }\n\
+                    impl FooConfig {\n    pub fn validate(&self) {}\n}\n";
+        let f = run(text);
+        assert!(f.iter().any(|f| f.message.contains("never calls")));
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let text = "// hbc-allow: config-validate (plain data, no invariants)\n\
+                    pub struct FooConfig { pub x: u32 }\n";
+        let f = run(text);
+        assert!(f.iter().all(|f| !f.message.contains("no `fn validate`")));
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/config_validate");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run(&bad).is_empty());
+        assert!(run(&ok).is_empty());
+    }
+}

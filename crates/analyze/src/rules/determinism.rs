@@ -1,0 +1,105 @@
+//! Rule `determinism`: simulation-state crates must not use
+//! nondeterministically ordered collections, wall clocks, or ambient RNGs.
+//!
+//! The simulator's contract is that a run is a pure function of
+//! (configuration, seed). `HashMap`/`HashSet` iteration order varies run to
+//! run (SipHash keys are randomized), `Instant`/`SystemTime` read the wall
+//! clock, and `thread_rng`-style ambient RNGs are unseeded — any of these
+//! in a [`crate::SIM_CRATES`] member can silently break reproducibility.
+
+use crate::source::{tokens, SourceFile};
+use crate::{Finding, SIM_CRATES};
+
+/// Identifier tokens forbidden in simulation crates, with the suggestion
+/// reported alongside each.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized; use BTreeMap"),
+    ("HashSet", "iteration order is randomized; use BTreeSet"),
+    ("Instant", "reads the wall clock; derive time from simulated cycles"),
+    ("SystemTime", "reads the wall clock; derive time from simulated cycles"),
+    ("thread_rng", "unseeded ambient RNG; use the seeded workload RNG"),
+    ("rand", "external RNG crate; use the seeded workload RNG"),
+];
+
+/// Runs the rule over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "determinism") {
+                continue;
+            }
+            for (_, tok) in tokens(&line.code) {
+                if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok) {
+                    findings.push(Finding {
+                        rule: "determinism",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!("`{name}` in {}: {why}", file.crate_name),
+                    });
+                }
+            }
+            if line.code.contains("std::time") && !line.code.contains("std::time::Duration") {
+                findings.push(Finding {
+                    rule: "determinism",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`std::time` in {}: wall-clock time is nondeterministic",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(crate_name: &str, text: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)])
+    }
+
+    #[test]
+    fn flags_hashmap_in_sim_crate() {
+        let f = run("hbc-mem", "use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn ignores_non_sim_crates_and_tests() {
+        assert!(run("hbc-bench", "use std::time::Instant;\n").is_empty());
+        assert!(run("hbc-mem", "#[cfg(test)]\nmod t {\n use std::collections::HashSet;\n}\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let f = run("hbc-cpu", "use std::collections::HashMap; // hbc-allow: determinism\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_fire() {
+        assert!(run("hbc-isa", "let s = \"HashMap\";\n").is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/determinism");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run("hbc-mem", &bad).is_empty());
+        assert!(run("hbc-mem", &ok).is_empty());
+    }
+}

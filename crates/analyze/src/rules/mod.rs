@@ -1,0 +1,6 @@
+//! The four analysis rules.
+
+pub mod config_validate;
+pub mod determinism;
+pub mod panic_path;
+pub mod units;

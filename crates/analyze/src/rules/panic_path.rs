@@ -1,0 +1,193 @@
+//! Rule `panic`: the number of `unwrap()` / `expect()` / `panic!` sites in
+//! non-test simulator code is gated against a checked-in baseline.
+//!
+//! Panics in `hbc-mem`/`hbc-cpu` hot paths turn a bad configuration or a
+//! modelling bug into an abort instead of an error the caller can report.
+//! Existing sites are grandfathered in `crates/analyze/panic_baseline.txt`;
+//! the count per crate may only go down. Regenerate the baseline after a
+//! genuine reduction with `cargo run -p hbc-analyze -- baseline`.
+
+use crate::source::{tokens, SourceFile};
+use crate::{Finding, SIM_CRATES};
+use std::collections::BTreeMap;
+
+/// Per-crate allowed panic-site counts, parsed from `panic_baseline.txt`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the `crate count` line format (`#` comments allowed).
+    pub fn parse(text: &str) -> Self {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(name), Some(n)) = (parts.next(), parts.next()) {
+                if let Ok(n) = n.parse() {
+                    counts.insert(name.to_string(), n);
+                }
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Renders the baseline back to the file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-path baseline: non-test unwrap/expect/panic! sites per crate.\n\
+             # Maintained by `cargo run -p hbc-analyze -- baseline`; counts may only go down.\n",
+        );
+        for (name, n) in &self.counts {
+            out.push_str(&format!("{name} {n}\n"));
+        }
+        out
+    }
+
+    /// Allowed count for `crate_name` (0 when absent).
+    pub fn allowed(&self, crate_name: &str) -> usize {
+        self.counts.get(crate_name).copied().unwrap_or(0)
+    }
+}
+
+/// Counts panic sites per simulation crate, skipping test code and
+/// `hbc-allow: panic` lines. Returns (crate → count) plus each site for
+/// reporting.
+pub fn count_sites(files: &[SourceFile]) -> (BTreeMap<String, usize>, Vec<Finding>) {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut sites = Vec::new();
+    for crate_name in SIM_CRATES {
+        counts.insert(crate_name.to_string(), 0);
+    }
+    for file in files {
+        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "panic") {
+                continue;
+            }
+            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
+            for (pos, tok) in &toks {
+                let after = line.code[pos + tok.len()..].trim_start();
+                let hit = match *tok {
+                    "unwrap" | "expect" => after.starts_with('('),
+                    "panic" | "unreachable" | "todo" | "unimplemented" => after.starts_with('!'),
+                    "assert" => false, // assertions are contracts, not panic paths
+                    _ => false,
+                };
+                if hit {
+                    *counts.entry(file.crate_name.clone()).or_default() += 1;
+                    sites.push(Finding {
+                        rule: "panic",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!("panic site `{tok}` in {}", file.crate_name),
+                    });
+                }
+            }
+        }
+    }
+    (counts, sites)
+}
+
+/// Compares the current counts against the baseline; a crate over its
+/// baseline yields one finding naming every new-ish site.
+pub fn check(files: &[SourceFile], baseline: &Baseline) -> Vec<Finding> {
+    let (counts, sites) = count_sites(files);
+    let mut findings = Vec::new();
+    for (crate_name, &count) in &counts {
+        let allowed = baseline.allowed(crate_name);
+        if count > allowed {
+            findings.extend(
+                sites
+                    .iter()
+                    .filter(|s| {
+                        files.iter().any(|f| f.path == s.path && f.crate_name == *crate_name)
+                    })
+                    .cloned(),
+            );
+            findings.push(Finding {
+                rule: "panic",
+                path: crate_name.clone().into(),
+                line: 0,
+                message: format!(
+                    "{crate_name} has {count} panic sites, baseline allows {allowed}; \
+                     remove sites or justify with `hbc-allow: panic` (never raise the baseline)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)
+    }
+
+    #[test]
+    fn counts_unwrap_expect_panic() {
+        let (counts, _) = count_sites(&[file(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}\n",
+        )]);
+        assert_eq!(counts["hbc-mem"], 4);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_count() {
+        let (counts, _) =
+            count_sites(&[file("fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n")]);
+        assert_eq!(counts["hbc-mem"], 0);
+    }
+
+    #[test]
+    fn asserts_and_tests_do_not_count() {
+        let (counts, _) = count_sites(&[file(
+            "fn f() {\n    assert!(ok);\n}\n#[cfg(test)]\nmod t {\n    fn g() { x.unwrap(); }\n}\n",
+        )]);
+        assert_eq!(counts["hbc-mem"], 0);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_gate() {
+        let b = Baseline::parse("# comment\nhbc-mem 2\nhbc-cpu 0\n");
+        assert_eq!(b.allowed("hbc-mem"), 2);
+        assert_eq!(b.allowed("hbc-core"), 0);
+        let b2 = Baseline::parse(&b.render());
+        assert_eq!(b, b2);
+
+        let f = file("fn f() {\n    a.unwrap();\n    b.unwrap();\n    c.unwrap();\n}\n");
+        assert!(!check(std::slice::from_ref(&f), &b).is_empty());
+        let under = Baseline::parse("hbc-mem 3\n");
+        assert!(check(std::slice::from_ref(&f), &under).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_excludes_site() {
+        let (counts, _) = count_sites(&[file(
+            "fn f() {\n    x.unwrap(); // hbc-allow: panic (checked above)\n}\n",
+        )]);
+        assert_eq!(counts["hbc-mem"], 0);
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/panic");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        let zero = Baseline::default();
+        assert!(!check(&[file(&bad)], &zero).is_empty());
+        assert!(check(&[file(&ok)], &zero).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Rule `units`: public `hbc-timing` functions must speak the crate's
+//! unit newtypes (`Fo4`, `Nanoseconds`, `CacheSize`, …), not raw `f64` or
+//! `u64`.
+//!
+//! The paper's methodology lives and dies on keeping FO4 delays,
+//! nanoseconds, and cycle counts distinct; a raw `f64` at a public
+//! boundary is where those get confused. Constructors (`new`, `from_*`)
+//! and raw accessors (`get`) are exempt — they *are* the conversion
+//! boundary. Anything else raw needs an audited `// hbc-allow: units`.
+
+use crate::source::{tokens, SourceFile};
+use crate::Finding;
+
+/// Crate whose public API is held to unit discipline.
+const UNITS_CRATE: &str = "hbc-timing";
+
+/// Raw numeric tokens that should not appear in public signatures.
+const RAW: &[&str] = &["f64", "u64"];
+
+fn exempt(name: &str) -> bool {
+    name == "new" || name == "get" || name.starts_with("from_")
+}
+
+/// Runs the rule over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.crate_name != UNITS_CRATE {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "units") {
+                continue;
+            }
+            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
+            let Some(fn_pos) =
+                toks.windows(2).position(|w| w[0].1 == "pub" && w[1].1 == "fn").map(|p| p + 1)
+            else {
+                continue;
+            };
+            let Some(&(_, name)) = toks.get(fn_pos + 1) else { continue };
+            if exempt(name) {
+                continue;
+            }
+            // Collect the signature from `fn` to the body brace or `;`,
+            // spanning lines for multi-line signatures.
+            let mut sig = String::new();
+            for cont in &file.lines[idx..] {
+                let code = &cont.code;
+                let end = code.find(['{', ';']).unwrap_or(code.len());
+                sig.push_str(&code[..end]);
+                sig.push(' ');
+                if code.find(['{', ';']).is_some() {
+                    break;
+                }
+            }
+            for (_, tok) in tokens(&sig) {
+                if RAW.contains(&tok) {
+                    findings.push(Finding {
+                        rule: "units",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "pub fn `{name}` exposes raw `{tok}`; use the unit newtypes \
+                             (Fo4, Nanoseconds, CacheSize) or justify with hbc-allow"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-timing", text, false)])
+    }
+
+    #[test]
+    fn flags_raw_f64_in_pub_fn() {
+        let f = run("pub fn speed(&self) -> f64 {\n    self.x\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("speed"));
+    }
+
+    #[test]
+    fn multi_line_signatures_are_seen() {
+        let f = run("pub fn blend(\n    a: Fo4,\n    b: u64,\n) -> Fo4 {\n}\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn constructors_and_accessors_exempt() {
+        assert!(run("pub fn new(v: f64) -> Self { Self(v) }\n").is_empty());
+        assert!(run("pub fn get(&self) -> f64 { self.0 }\n").is_empty());
+        assert!(run("pub fn from_bytes(b: u64) -> Self { Self(b) }\n").is_empty());
+    }
+
+    #[test]
+    fn newtype_signatures_pass_and_other_crates_ignored() {
+        assert!(run("pub fn to_ns(&self, t: &Technology) -> Nanoseconds {\n}\n").is_empty());
+        let other = check(&[SourceFile::parse(
+            PathBuf::from("f.rs"),
+            "hbc-mem",
+            "pub fn x() -> u64 {}",
+            false,
+        )]);
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        assert!(run("// hbc-allow: units (cycle counts are the native type)\npub fn cycles(&self) -> u64 {\n}\n").is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/units");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run(&bad).is_empty());
+        assert!(run(&ok).is_empty());
+    }
+}

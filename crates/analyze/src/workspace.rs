@@ -1,0 +1,91 @@
+//! Workspace discovery: find the root, enumerate crates, scan sources.
+
+use crate::source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && std::fs::read_to_string(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no workspace Cargo.toml above {}", start.display()),
+            ));
+        }
+    }
+}
+
+/// Reads the `name = "…"` field of a crate manifest.
+fn package_name(manifest: &Path) -> io::Result<String> {
+    for line in std::fs::read_to_string(manifest)?.lines() {
+        if let Some(rest) = line.trim().strip_prefix("name") {
+            if let Some(eq) = rest.trim_start().strip_prefix('=') {
+                return Ok(eq.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::InvalidData, format!("no name in {}", manifest.display())))
+}
+
+/// Scans every `.rs` file of every workspace member (the root package and
+/// `crates/*`), returning parsed [`SourceFile`]s with workspace-relative
+/// paths, sorted by path. Analyzer fixtures and `target/` are skipped;
+/// `tests/`, `benches/`, and `examples/` trees are marked as test code.
+pub fn scan(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut members = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.join("Cargo.toml").is_file() {
+                members.push(path);
+            }
+        }
+    }
+    members.sort();
+
+    let mut files = Vec::new();
+    for member in &members {
+        let crate_name = package_name(&member.join("Cargo.toml"))?;
+        for sub in ["src", "tests", "benches", "examples"] {
+            let dir = member.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let all_test = sub != "src";
+            let mut rs_files = Vec::new();
+            collect_rs(&dir, &mut rs_files)?;
+            rs_files.sort();
+            for file in rs_files {
+                let text = std::fs::read_to_string(&file)?;
+                let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+                files.push(SourceFile::parse(rel, &crate_name, &text, all_test));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files, skipping `target` and `fixtures`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "fixtures" && !name.starts_with('.') {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

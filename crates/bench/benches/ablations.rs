@@ -1,11 +1,11 @@
-//! Criterion benchmarks of simulator throughput under the design options
-//! DESIGN.md flags for ablation: the *performance results* of these options
-//! come from the `ablation` binary; these benchmarks track the simulation
-//! cost each option adds.
+//! Benchmarks of simulator throughput under the design options DESIGN.md
+//! flags for ablation: the *performance results* of these options come
+//! from the `ablation` binary; these benchmarks track the simulation cost
+//! each option adds.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use hbc_bench::timer::Runner;
 use hbc_core::{Benchmark, SimBuilder};
 use hbc_mem::PortModel;
 
@@ -13,45 +13,34 @@ fn quick(b: Benchmark) -> SimBuilder {
     SimBuilder::new(b).instructions(3_000).warmup(500).cache_warm(100_000)
 }
 
-fn bench_port_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("port_models");
-    g.sample_size(10);
+fn bench_port_models() {
+    let r = Runner::new("port_models").iters(3);
     for (name, ports) in [
         ("ideal2", PortModel::Ideal(2)),
         ("banked8", PortModel::Banked(8)),
         ("banked128", PortModel::Banked(128)),
         ("duplicate", PortModel::Duplicate),
     ] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| black_box(quick(Benchmark::Gcc).ports(ports).run().ipc()));
-        });
+        r.bench(name, || black_box(quick(Benchmark::Gcc).ports(ports).run().ipc()));
     }
-    g.finish();
 }
 
-fn bench_line_buffer_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("line_buffer_cost");
-    g.sample_size(10);
-    g.bench_function("without", |b| {
-        b.iter(|| black_box(quick(Benchmark::Tomcatv).hit_cycles(2).run().ipc()))
+fn bench_line_buffer_cost() {
+    let r = Runner::new("line_buffer_cost").iters(3);
+    r.bench("without", || black_box(quick(Benchmark::Tomcatv).hit_cycles(2).run().ipc()));
+    r.bench("with", || {
+        black_box(quick(Benchmark::Tomcatv).hit_cycles(2).line_buffer(true).run().ipc())
     });
-    g.bench_function("with", |b| {
-        b.iter(|| black_box(quick(Benchmark::Tomcatv).hit_cycles(2).line_buffer(true).run().ipc()))
-    });
-    g.finish();
 }
 
-fn bench_dram_mode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_mode");
-    g.sample_size(10);
-    g.bench_function("sram_l2", |b| {
-        b.iter(|| black_box(quick(Benchmark::Database).run().ipc()))
-    });
-    g.bench_function("dram_cache", |b| {
-        b.iter(|| black_box(quick(Benchmark::Database).dram_cache(6).run().ipc()))
-    });
-    g.finish();
+fn bench_dram_mode() {
+    let r = Runner::new("dram_mode").iters(3);
+    r.bench("sram_l2", || black_box(quick(Benchmark::Database).run().ipc()));
+    r.bench("dram_cache", || black_box(quick(Benchmark::Database).dram_cache(6).run().ipc()));
 }
 
-criterion_group!(benches, bench_port_models, bench_line_buffer_cost, bench_dram_mode);
-criterion_main!(benches);
+fn main() {
+    bench_port_models();
+    bench_line_buffer_cost();
+    bench_dram_mode();
+}

@@ -1,87 +1,72 @@
-//! Criterion micro-benchmarks of the simulator substrates: how fast the
-//! building blocks run, so regressions in simulator throughput are caught.
+//! Micro-benchmarks of the simulator substrates: how fast the building
+//! blocks run, so regressions in simulator throughput are caught.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use hbc_bench::timer::Runner;
 use hbc_mem::{CacheArray, LineBuffer, MemConfig, MemSystem, PortModel};
-use hbc_timing::{cacti::CactiModel, cacti::SearchSpace, AccessTimeModel, CacheSize, PortStructure};
+use hbc_timing::{
+    cacti::CactiModel, cacti::SearchSpace, AccessTimeModel, CacheSize, PortStructure,
+};
 use hbc_workloads::{Benchmark, WorkloadGen};
 
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache_array_touch_32k", |b| {
-        let mut cache = CacheArray::new(32 << 10, 2, 32);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            black_box(cache.touch(i & 0xF_FFFF))
-        });
+fn bench_cache_array(r: &Runner) {
+    let mut cache = CacheArray::new(32 << 10, 2, 32);
+    let mut i = 0u64;
+    r.bench("cache_array_touch_32k", || {
+        i = i.wrapping_add(0x9E37_79B9);
+        black_box(cache.touch(i & 0xF_FFFF))
     });
 }
 
-fn bench_line_buffer(c: &mut Criterion) {
-    c.bench_function("line_buffer_lookup_fill", |b| {
-        let mut lb = LineBuffer::new(32, 32);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(40);
-            if !lb.lookup(i & 0xFFFF) {
-                lb.fill(i & 0xFFFF);
-            }
-        });
+fn bench_line_buffer(r: &Runner) {
+    let mut lb = LineBuffer::new(32, 32);
+    let mut i = 0u64;
+    r.bench("line_buffer_lookup_fill", || {
+        i = i.wrapping_add(40);
+        if !lb.lookup(i & 0xFFFF) {
+            lb.fill(i & 0xFFFF);
+        }
     });
 }
 
-fn bench_workload_gen(c: &mut Criterion) {
-    c.bench_function("workload_gen_gcc", |b| {
-        let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
-        b.iter(|| black_box(gen.next_inst()));
-    });
-    c.bench_function("workload_gen_database", |b| {
-        let mut gen = WorkloadGen::new(Benchmark::Database, 1);
-        b.iter(|| black_box(gen.next_inst()));
+fn bench_workload_gen(r: &Runner) {
+    let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
+    r.bench("workload_gen_gcc", || black_box(gen.next_inst()));
+    let mut gen = WorkloadGen::new(Benchmark::Database, 1);
+    r.bench("workload_gen_database", || black_box(gen.next_inst()));
+}
+
+fn bench_mem_system(r: &Runner) {
+    let cfg = MemConfig::paper_sram(32 << 10, 1, PortModel::Duplicate).with_line_buffer();
+    let mut mem = MemSystem::new(cfg).unwrap();
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    r.bench("mem_system_load_cycle", || {
+        now += 1;
+        addr = addr.wrapping_add(72) & 0x7FFF;
+        mem.begin_cycle(now);
+        black_box(mem.try_load(addr));
+        mem.end_cycle();
     });
 }
 
-fn bench_mem_system(c: &mut Criterion) {
-    c.bench_function("mem_system_load_cycle", |b| {
-        let cfg = MemConfig::paper_sram(32 << 10, 1, PortModel::Duplicate).with_line_buffer();
-        let mut mem = MemSystem::new(cfg).unwrap();
-        let mut now = 0u64;
-        let mut addr = 0u64;
-        b.iter(|| {
-            now += 1;
-            addr = addr.wrapping_add(72) & 0x7FFF;
-            mem.begin_cycle(now);
-            black_box(mem.try_load(addr));
-            mem.end_cycle();
-        });
+fn bench_timing_models(r: &Runner) {
+    let model = AccessTimeModel::default();
+    r.bench("access_time_lookup", || {
+        black_box(model.access_time(CacheSize::from_kib(96), PortStructure::SinglePorted).unwrap())
+    });
+    let cacti = CactiModel::default();
+    Runner::new("components_slow").iters(20).bench("cacti_best_organization_1m", || {
+        black_box(cacti.best_organization(CacheSize::from_mib(1), &SearchSpace::default()))
     });
 }
 
-fn bench_timing_models(c: &mut Criterion) {
-    c.bench_function("access_time_lookup", |b| {
-        let model = AccessTimeModel::default();
-        b.iter(|| {
-            black_box(
-                model.access_time(CacheSize::from_kib(96), PortStructure::SinglePorted).unwrap(),
-            )
-        });
-    });
-    c.bench_function("cacti_best_organization_1m", |b| {
-        let model = CactiModel::default();
-        b.iter(|| {
-            black_box(model.best_organization(CacheSize::from_mib(1), &SearchSpace::default()))
-        });
-    });
+fn main() {
+    let r = Runner::new("components").iters(10_000);
+    bench_cache_array(&r);
+    bench_line_buffer(&r);
+    bench_workload_gen(&r);
+    bench_mem_system(&r);
+    bench_timing_models(&r);
 }
-
-criterion_group!(
-    benches,
-    bench_cache_array,
-    bench_line_buffer,
-    bench_workload_gen,
-    bench_mem_system,
-    bench_timing_models
-);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion benchmarks of whole experiment drivers (reduced fidelity):
+//! Benchmarks of whole experiment drivers (reduced fidelity):
 //! `cargo bench` exercises the same code paths that regenerate every paper
 //! table and figure. Absolute wall time per driver is the metric; the
 //! figure *contents* come from the `fig*` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use hbc_bench::timer::Runner;
 use hbc_core::experiments::{fig1, fig3, fig4, fig6, fig7, fig9, table1, table2, ExpParams};
 use hbc_core::{Benchmark, SimBuilder};
 
@@ -19,40 +19,31 @@ fn tiny() -> ExpParams {
     p
 }
 
-fn bench_single_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
+fn bench_single_sim() {
+    let r = Runner::new("simulate").iters(3);
     for b in Benchmark::REPRESENTATIVES {
-        g.bench_function(b.name(), |bench| {
-            bench.iter(|| {
-                black_box(
-                    SimBuilder::new(b)
-                        .instructions(3_000)
-                        .warmup(500)
-                        .cache_warm(100_000)
-                        .run()
-                        .ipc(),
-                )
-            });
+        r.bench(b.name(), || {
+            black_box(
+                SimBuilder::new(b).instructions(3_000).warmup(500).cache_warm(100_000).run().ipc(),
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig1", |b| b.iter(|| black_box(fig1::run())));
-    g.bench_function("table1", |b| b.iter(|| black_box(table1::run())));
+fn bench_figures() {
+    let r = Runner::new("figures").iters(2);
+    r.bench("fig1", || black_box(fig1::run()));
+    r.bench("table1", || black_box(table1::run()));
     let p = tiny();
-    g.bench_function("table2", |b| b.iter(|| black_box(table2::run(&p))));
-    g.bench_function("fig3", |b| b.iter(|| black_box(fig3::run(&p))));
-    g.bench_function("fig4", |b| b.iter(|| black_box(fig4::run(&p))));
-    g.bench_function("fig6", |b| b.iter(|| black_box(fig6::run(&p))));
-    g.bench_function("fig7", |b| b.iter(|| black_box(fig7::run(&p))));
-    g.bench_function("fig9", |b| b.iter(|| black_box(fig9::run(&p))));
-    g.finish();
+    r.bench("table2", || black_box(table2::run(&p)));
+    r.bench("fig3", || black_box(fig3::run(&p)));
+    r.bench("fig4", || black_box(fig4::run(&p)));
+    r.bench("fig6", || black_box(fig6::run(&p)));
+    r.bench("fig7", || black_box(fig7::run(&p)));
+    r.bench("fig9", || black_box(fig9::run(&p)));
 }
 
-criterion_group!(benches, bench_single_sim, bench_figures);
-criterion_main!(benches);
+fn main() {
+    bench_single_sim();
+    bench_figures();
+}

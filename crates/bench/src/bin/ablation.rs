@@ -2,8 +2,8 @@
 //! line-buffer capacity, MSHR count, store-buffer depth, and the
 //! sensitivity of pipelining losses to workload ILP.
 
-use hbc_core::{Benchmark, SimBuilder};
 use hbc_core::report::{fmt_f, Table};
+use hbc_core::{Benchmark, SimBuilder};
 use hbc_mem::PortModel;
 
 fn sim(b: Benchmark) -> SimBuilder {

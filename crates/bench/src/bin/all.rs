@@ -7,17 +7,66 @@ use std::time::Instant;
 fn main() {
     let params = hbc_bench::params_from_args();
     fs::create_dir_all("results").expect("create results directory");
-    let items: Vec<(&str, Box<dyn Fn() -> hbc_core::report::Table>)> = vec![
-        ("fig1", Box::new(|| hbc_core::experiments::fig1::run())),
-        ("table1", Box::new(|| hbc_core::experiments::table1::run())),
-        ("table2", Box::new({ let p = params.clone(); move || hbc_core::experiments::table2::run(&p) })),
-        ("fig3", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig3::run(&p) })),
-        ("fig4", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig4::run(&p) })),
-        ("fig5", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig5::run(&p) })),
-        ("fig6", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig6::run(&p) })),
-        ("fig7", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig7::run(&p) })),
-        ("fig8", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig8::run(&p) })),
-        ("fig9", Box::new({ let p = params.clone(); move || hbc_core::experiments::fig9::run(&p) })),
+    type Item = (&'static str, Box<dyn Fn() -> hbc_core::report::Table>);
+    let items: Vec<Item> = vec![
+        ("fig1", Box::new(hbc_core::experiments::fig1::run)),
+        ("table1", Box::new(hbc_core::experiments::table1::run)),
+        (
+            "table2",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::table2::run(&p)
+            }),
+        ),
+        (
+            "fig3",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig3::run(&p)
+            }),
+        ),
+        (
+            "fig4",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig4::run(&p)
+            }),
+        ),
+        (
+            "fig5",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig5::run(&p)
+            }),
+        ),
+        (
+            "fig6",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig6::run(&p)
+            }),
+        ),
+        (
+            "fig7",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig7::run(&p)
+            }),
+        ),
+        (
+            "fig8",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig8::run(&p)
+            }),
+        ),
+        (
+            "fig9",
+            Box::new({
+                let p = params.clone();
+                move || hbc_core::experiments::fig9::run(&p)
+            }),
+        ),
     ];
     for (name, run) in items {
         let t0 = Instant::now();

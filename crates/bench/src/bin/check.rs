@@ -54,7 +54,11 @@ fn main() {
     claims.push(Claim {
         name: "pipelining: int >> fp loss",
         paper: "gcc -18%/-15% per stage, tomcatv -3%/-3%",
-        measured: format!("gcc -{:.1}%, tomcatv -{:.1}% (1~ -> 3~)", 100.0 * gcc_loss, 100.0 * fp_loss),
+        measured: format!(
+            "gcc -{:.1}%, tomcatv -{:.1}% (1~ -> 3~)",
+            100.0 * gcc_loss,
+            100.0 * fp_loss
+        ),
         pass: gcc_loss > 0.08 && fp_loss < 0.6 * gcc_loss,
     });
 

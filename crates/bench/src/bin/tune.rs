@@ -56,7 +56,11 @@ fn main() {
             st.rob_full_cycles, st.lsq_full_cycles, st.store_stall_cycles,
             st.avg_load_latency());
         let m = r1m.mem();
-        println!("             l2 hit={} miss={} ({:.0}% miss)", m.l2_hits, m.l2_misses,
-            100.0 * m.l2_miss_ratio());
+        println!(
+            "             l2 hit={} miss={} ({:.0}% miss)",
+            m.l2_hits,
+            m.l2_misses,
+            100.0 * m.l2_miss_ratio()
+        );
     }
 }

@@ -12,6 +12,8 @@
 
 use hbc_core::ExpParams;
 
+pub mod timer;
+
 /// Parses the common experiment flags from `std::env::args`.
 ///
 /// Unknown flags abort with a usage message rather than being silently

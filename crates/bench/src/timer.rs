@@ -1,0 +1,90 @@
+//! A dependency-free micro-benchmark runner for the `cargo bench` targets.
+//!
+//! The previous harness was an external benchmarking crate; this replaces
+//! it with a self-contained wall-clock runner so the workspace builds with
+//! no network access. Methodology: each benchmark runs a warm-up batch,
+//! then a fixed number of timed batches, and reports the best (minimum)
+//! per-iteration time — the estimator least disturbed by scheduler noise.
+//!
+//! Wall-clock timing is inherently non-deterministic; that is fine here
+//! because benchmark numbers are reporting-only and never feed back into
+//! simulation results (the determinism contract covers simulations, not
+//! the cost of running them).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Batches per measurement; the minimum over these is reported.
+const BATCHES: u32 = 10;
+
+/// A named group of micro-benchmarks, printed as one table section.
+pub struct Runner {
+    group: String,
+    /// Iterations per timed batch.
+    iters: u64,
+}
+
+impl Runner {
+    /// Creates a runner whose results print under `group`.
+    pub fn new(group: &str) -> Self {
+        println!("## {group}");
+        Runner { group: group.to_string(), iters: 1000 }
+    }
+
+    /// Sets iterations per timed batch (default 1000); use small values
+    /// for expensive bodies such as whole simulations.
+    pub fn iters(mut self, iters: u64) -> Self {
+        assert!(iters > 0, "iterations must be non-zero");
+        self.iters = iters;
+        self
+    }
+
+    /// Times `f`, reporting the best per-iteration time over all batches.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> &Self {
+        // Warm-up batch (untimed): fills caches and warms the branch
+        // predictors so the first timed batch is not an outlier.
+        for _ in 0..self.iters.min(100) {
+            black_box(f());
+        }
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / self.iters as f64;
+            best_ns = best_ns.min(per_iter);
+        }
+        println!("{:<40} {:>14}", format!("{}/{}", self.group, name), format_ns(best_ns));
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_ns(12.3).ends_with("ns/iter"));
+        assert!(format_ns(12_300.0).ends_with("us/iter"));
+        assert!(format_ns(12_300_000.0).ends_with("ms/iter"));
+    }
+
+    #[test]
+    fn bench_runs_body() {
+        let mut n = 0u64;
+        Runner::new("test").iters(5).bench("count", || n += 1);
+        assert!(n > 0);
+    }
+}

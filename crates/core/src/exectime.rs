@@ -29,15 +29,17 @@ pub const MEM_NS: f64 = 300.0;
 /// ```
 pub fn scaled_memory_cycles(cycle: Fo4, tech: &Technology) -> (u64, u64) {
     let cycle_ns = tech.cycle_ns(cycle);
-    (
-        Nanoseconds::new(L2_NS).to_cycles(cycle_ns),
-        Nanoseconds::new(MEM_NS).to_cycles(cycle_ns),
-    )
+    (Nanoseconds::new(L2_NS).to_cycles(cycle_ns), Nanoseconds::new(MEM_NS).to_cycles(cycle_ns))
 }
 
 /// Execution time per instruction in nanoseconds, given a measured
 /// cycles-per-instruction and the cycle time.
-pub fn time_per_instruction_ns(cycles: u64, instructions: u64, cycle: Fo4, tech: &Technology) -> f64 {
+pub fn time_per_instruction_ns(
+    cycles: u64,
+    instructions: u64,
+    cycle: Fo4,
+    tech: &Technology,
+) -> f64 {
     assert!(instructions > 0, "need a non-empty measurement window");
     cycles as f64 / instructions as f64 * tech.cycle_ns(cycle).get()
 }

@@ -4,8 +4,8 @@
 use hbc_timing::CacheSize;
 
 use crate::experiments::ExpParams;
-use crate::report::{fmt_pct, Table};
 use crate::miss_curve;
+use crate::report::{fmt_pct, Table};
 
 /// Regenerates Figure 3 over the paper's 4 KB..1 MB sweep, using the fast
 /// functional cache model with `params.instructions * 4` instructions per
@@ -21,8 +21,9 @@ use crate::miss_curve;
 /// ```
 pub fn run(params: &ExpParams) -> Table {
     let sizes: Vec<u64> = CacheSize::sram_sweep().iter().map(|s| s.kib()).collect();
-    let headers: Vec<String> =
-        std::iter::once("benchmark".to_string()).chain(sizes.iter().map(|k| format!("{k}K"))).collect();
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(sizes.iter().map(|k| format!("{k}K")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table =
         Table::new("Figure 3: misses per instruction vs primary cache size", &header_refs);
@@ -65,10 +66,7 @@ mod tests {
         let t = run(&p);
         let at_64k = pct(&t.rows()[0][5]);
         let at_256k = pct(&t.rows()[0][7]);
-        assert!(
-            at_256k < at_64k * 0.5,
-            "expected a radical drop: {at_64k} -> {at_256k}"
-        );
+        assert!(at_256k < at_64k * 0.5, "expected a radical drop: {at_64k} -> {at_256k}");
     }
 
     #[test]

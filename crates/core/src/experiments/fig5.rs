@@ -66,7 +66,7 @@ mod tests {
     }
 
     #[test]
-    fn many_banks_close_to_eight(){
+    fn many_banks_close_to_eight() {
         // The paper: "the performance difference between an eight-way banked
         // cache and a cache with a large number of banks is small".
         let mut p = ExpParams::fast();

@@ -27,13 +27,8 @@ pub fn run(params: &ExpParams) -> Table {
             [("8-way banked", PortModel::Banked(8)), ("duplicate", PortModel::Duplicate)]
         {
             for hit in super::fig4::HITS {
-                let base = params
-                    .sim(b)
-                    .cache_size_kib(32)
-                    .hit_cycles(hit)
-                    .ports(ports)
-                    .run()
-                    .ipc();
+                let base =
+                    params.sim(b).cache_size_kib(32).hit_cycles(hit).ports(ports).run().ipc();
                 let with_lb = params
                     .sim(b)
                     .cache_size_kib(32)

@@ -48,9 +48,8 @@ pub fn curves(benchmark: Benchmark, params: &ExpParams) -> Vec<Fig9Point> {
                 &tech,
                 depth as u32,
             );
-            let normalized_time = cache.map(|c| {
-                time_at(benchmark, params, cycle_fo4, depth, c, &tech) / baseline
-            });
+            let normalized_time =
+                cache.map(|c| time_at(benchmark, params, cycle_fo4, depth, c, &tech) / baseline);
             out.push(Fig9Point { cycle_fo4: cycle, depth, cache, normalized_time });
         }
     }
@@ -175,10 +174,7 @@ mod tests {
         let params = quick();
         let pts = curves(Benchmark::Tomcatv, &params);
         let t = |cycle: f64, depth: u64| {
-            pts.iter()
-                .find(|p| p.cycle_fo4 == cycle && p.depth == depth)
-                .unwrap()
-                .normalized_time
+            pts.iter().find(|p| p.cycle_fo4 == cycle && p.depth == depth).unwrap().normalized_time
         };
         // Three-cycle caches exist across the sweep; 15 FO4 must beat 30 FO4.
         let fast = t(15.0, 3).unwrap();

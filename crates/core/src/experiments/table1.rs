@@ -17,11 +17,7 @@ pub fn run() -> Table {
         Table::new("Table 1: the nine benchmarks", &["benchmark", "group", "description"]);
     for b in Benchmark::ALL {
         let spec = b.spec();
-        table.push(vec![
-            b.name().to_string(),
-            b.group().to_string(),
-            spec.description.to_string(),
-        ]);
+        table.push(vec![b.name().to_string(), b.group().to_string(), spec.description.to_string()]);
     }
     table
 }

@@ -21,8 +21,16 @@ use crate::report::{fmt_f, Table};
 pub fn run(params: &ExpParams) -> Table {
     let mut table = Table::new(
         "Table 2: execution-time and instruction-mix percentages (paper / measured)",
-        &["benchmark", "kernel%", "user%", "idle%", "loads%", "loads(meas)", "stores%",
-          "stores(meas)"],
+        &[
+            "benchmark",
+            "kernel%",
+            "user%",
+            "idle%",
+            "loads%",
+            "loads(meas)",
+            "stores%",
+            "stores(meas)",
+        ],
     );
     for &b in &params.benchmarks {
         let spec = b.spec();

@@ -84,12 +84,8 @@ impl fmt::Display for Table {
             }
         }
         writeln!(f, "{}", self.title)?;
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
         writeln!(f, "{}", header.join("  "))?;
         writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
         for row in &self.rows {

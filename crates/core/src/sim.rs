@@ -275,10 +275,8 @@ mod tests {
 
     #[test]
     fn builder_overrides_apply() {
-        let b = SimBuilder::new(Benchmark::Li)
-            .l2_hit_cycles(25)
-            .mem_latency(150)
-            .cache_size_kib(64);
+        let b =
+            SimBuilder::new(Benchmark::Li).l2_hit_cycles(25).mem_latency(150).cache_size_kib(64);
         let cfg = b.mem_config();
         assert_eq!(cfg.l2.hit_cycles(), 25);
         assert_eq!(cfg.mem_latency, 150);

@@ -1,6 +1,39 @@
 //! Processor configuration.
 
+use std::fmt;
+
 use hbc_isa::LatencyTable;
+
+/// An invalid processor-configuration parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpuConfigError {
+    /// A fetch, issue, or commit width of zero.
+    ZeroWidth,
+    /// A reorder buffer with no entries.
+    NoRobEntries,
+    /// A load/store queue with no entries.
+    NoLsqEntries,
+    /// A load/store queue deeper than the instruction window.
+    LsqExceedsRob,
+}
+
+impl fmt::Display for CpuConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuConfigError::ZeroWidth => f.write_str("pipeline widths must be non-zero"),
+            CpuConfigError::NoRobEntries => f.write_str("reorder buffer needs at least one entry"),
+            CpuConfigError::NoLsqEntries => {
+                f.write_str("load/store queue needs at least one entry")
+            }
+            CpuConfigError::LsqExceedsRob => {
+                f.write_str("load/store queue cannot exceed the instruction window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuConfigError {}
 
 /// Configuration of the dynamic superscalar processor (paper Figure 2).
 ///
@@ -44,20 +77,19 @@ impl CpuConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first zero-width or zero-capacity
-    /// parameter.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first zero-width or zero-capacity parameter.
+    pub fn validate(&self) -> Result<(), CpuConfigError> {
         if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
-            return Err("pipeline widths must be non-zero".into());
+            return Err(CpuConfigError::ZeroWidth);
         }
         if self.rob_entries == 0 {
-            return Err("reorder buffer needs at least one entry".into());
+            return Err(CpuConfigError::NoRobEntries);
         }
         if self.lsq_entries == 0 {
-            return Err("load/store queue needs at least one entry".into());
+            return Err(CpuConfigError::NoLsqEntries);
         }
         if self.lsq_entries > self.rob_entries {
-            return Err("load/store queue cannot exceed the instruction window".into());
+            return Err(CpuConfigError::LsqExceedsRob);
         }
         Ok(())
     }

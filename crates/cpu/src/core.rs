@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use hbc_isa::{DynInst, InstId};
 use hbc_mem::{LoadResponse, MemSystem};
 
-use crate::config::CpuConfig;
+use crate::config::{CpuConfig, CpuConfigError};
 use crate::stats::RunStats;
 
 /// Lifecycle of one in-flight instruction.
@@ -60,7 +60,7 @@ struct Slot {
 /// let mut core = Core::new(CpuConfig::paper(), mem, gen)?;
 /// let stats = core.run(5_000);
 /// assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0);
-/// # Ok::<(), String>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Core<I> {
@@ -90,8 +90,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     ///
     /// # Errors
     ///
-    /// Returns the validation message if `cfg` is inconsistent.
-    pub fn new(cfg: CpuConfig, mem: MemSystem, stream: I) -> Result<Self, String> {
+    /// Returns the violated constraint if `cfg` is inconsistent.
+    pub fn new(cfg: CpuConfig, mem: MemSystem, stream: I) -> Result<Self, CpuConfigError> {
         cfg.validate()?;
         Ok(Core {
             cfg,
@@ -163,6 +163,45 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         self.retire(now, stats);
         self.fetch(now, stats);
         self.mem.end_cycle();
+        #[cfg(feature = "sanitize")]
+        self.assert_invariants();
+    }
+
+    /// Sanitizer: checks window bookkeeping after every cycle. Violations
+    /// are core bugs, so it panics.
+    #[cfg(feature = "sanitize")]
+    fn assert_invariants(&self) {
+        assert!(
+            self.rob.len() <= self.cfg.rob_entries,
+            "sanitize: {} instructions in a {}-entry window",
+            self.rob.len(),
+            self.cfg.rob_entries
+        );
+        assert!(
+            self.lsq_used <= self.cfg.lsq_entries,
+            "sanitize: {} loads/stores in a {}-entry queue",
+            self.lsq_used,
+            self.cfg.lsq_entries
+        );
+        // The LSQ counter must agree with the window contents exactly, or
+        // it will eventually deadlock fetch (leak) or oversubscribe the
+        // queue (double free).
+        let mem_in_window = self.rob.iter().filter(|s| s.inst.is_mem()).count();
+        assert!(
+            self.lsq_used == mem_in_window,
+            "sanitize: LSQ counter {} disagrees with {} memory ops in the window",
+            self.lsq_used,
+            mem_in_window
+        );
+        // Window ids are contiguous from the head: slot i holds head + i.
+        for (i, slot) in self.rob.iter().enumerate() {
+            assert!(
+                slot.inst.id().get() == self.head + i as u64,
+                "sanitize: window slot {i} holds instruction {} but the head is {}",
+                slot.inst.id().get(),
+                self.head
+            );
+        }
     }
 
     /// Moves finished executions along and resolves waiting branches.
@@ -216,8 +255,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 continue;
             }
             let inst = self.rob[i].inst;
-            let ready =
-                inst.srcs().iter().flatten().all(|s| self.src_ready(*s, now));
+            let ready = inst.srcs().iter().flatten().all(|s| self.src_ready(*s, now));
             if !ready {
                 continue;
             }
@@ -334,7 +372,7 @@ mod tests {
 
     /// An infinite stream built from a per-index closure.
     fn stream(f: impl Fn(u64) -> DynInst + 'static) -> impl Iterator<Item = DynInst> {
-        (0u64..).map(move |i| f(i))
+        (0u64..).map(f)
     }
 
     #[test]
@@ -400,9 +438,12 @@ mod tests {
                 DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
             }
         };
-        let mut dirty_core =
-            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), stream(every_8_mispredicts))
-                .unwrap();
+        let mut dirty_core = Core::new(
+            CpuConfig::paper(),
+            mem(PortModel::Duplicate, 1),
+            stream(every_8_mispredicts),
+        )
+        .unwrap();
         let mut clean_core =
             Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), stream(clean)).unwrap();
         let dirty = dirty_core.run(10_000);
@@ -455,8 +496,7 @@ mod tests {
         // Independent loads across distinct hot lines: out-of-order issue
         // overlaps the extra hit cycles almost completely.
         let independent = |i: u64| {
-            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
-                .with_addr((i % 64) * 32)
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User).with_addr((i % 64) * 32)
         };
         let ipc_at = |hit| {
             let mut c =
@@ -473,8 +513,7 @@ mod tests {
     #[test]
     fn more_ports_help_load_heavy_streams() {
         let independent = |i: u64| {
-            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
-                .with_addr((i % 64) * 32)
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User).with_addr((i % 64) * 32)
         };
         let ipc_with = |ports| {
             let mut c = Core::new(CpuConfig::paper(), mem(ports, 1), stream(independent)).unwrap();
@@ -526,8 +565,7 @@ mod tests {
         // cache (stores need both copies idle): commit must stall on the
         // full buffer yet the machine keeps retiring.
         let s = stream(|i| {
-            DynInst::new(InstId::new(i), OpClass::Store, ExecMode::User)
-                .with_addr((i % 128) * 32)
+            DynInst::new(InstId::new(i), OpClass::Store, ExecMode::User).with_addr((i % 128) * 32)
         });
         let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
         core.run(1_000);
@@ -542,8 +580,7 @@ mod tests {
         // All loads to one cold line: the first miss is slow, the LSQ (32)
         // plus ROB (64) bound how many can queue; lsq_full must register.
         let s = stream(|i| {
-            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
-                .with_addr((i % 2048) * 32)
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User).with_addr((i % 2048) * 32)
         });
         let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Ideal(1), 1), s).unwrap();
         let stats = core.run(5_000);
@@ -586,15 +623,10 @@ mod tests {
         use hbc_workloads::{Benchmark, WorkloadGen};
         for b in [Benchmark::Gcc, Benchmark::Tomcatv, Benchmark::Database] {
             let gen = WorkloadGen::new(b, 7);
-            let mut core =
-                Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), 1), gen).unwrap();
+            let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), 1), gen).unwrap();
             core.run(5_000);
             let stats = core.run(20_000);
-            assert!(
-                stats.ipc() > 0.3 && stats.ipc() < 4.0,
-                "{b}: implausible IPC {}",
-                stats.ipc()
-            );
+            assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0, "{b}: implausible IPC {}", stats.ipc());
         }
     }
 }

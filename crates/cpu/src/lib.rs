@@ -24,7 +24,7 @@
 //! core.run(2_000); // warm up
 //! let ipc = core.run(10_000).ipc();
 //! assert!(ipc > 0.0);
-//! # Ok::<(), String>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,6 +35,6 @@ mod predictor;
 mod stats;
 
 pub use crate::core::Core;
-pub use config::CpuConfig;
+pub use config::{CpuConfig, CpuConfigError};
 pub use predictor::Gshare;
 pub use stats::RunStats;

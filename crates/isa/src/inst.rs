@@ -207,8 +207,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "must precede")]
     fn future_producer_rejected() {
-        let _ = DynInst::new(InstId::new(3), OpClass::IntAlu, ExecMode::User)
-            .with_src(InstId::new(3));
+        let _ =
+            DynInst::new(InstId::new(3), OpClass::IntAlu, ExecMode::User).with_src(InstId::new(3));
     }
 
     #[test]
@@ -219,8 +219,8 @@ mod tests {
 
     #[test]
     fn branch_outcome() {
-        let b = DynInst::new(InstId::new(2), OpClass::Branch, ExecMode::Kernel)
-            .with_branch(true, true);
+        let b =
+            DynInst::new(InstId::new(2), OpClass::Branch, ExecMode::Kernel).with_branch(true, true);
         assert!(b.taken() && b.mispredicted());
         assert_eq!(b.mode(), ExecMode::Kernel);
     }
@@ -228,7 +228,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "control transfers")]
     fn branch_outcome_on_load_rejected() {
-        let _ = DynInst::new(InstId::new(2), OpClass::Load, ExecMode::User).with_branch(true, false);
+        let _ =
+            DynInst::new(InstId::new(2), OpClass::Load, ExecMode::User).with_branch(true, false);
     }
 
     #[test]

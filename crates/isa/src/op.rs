@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_distinct() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for op in OpClass::ALL {
             let s = op.to_string();
             assert!(!s.is_empty());

@@ -110,14 +110,14 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// Transfers serialize: each starts no earlier than requested
-            /// and no earlier than the previous transfer ended, and total
-            /// occupancy equals the sum of the individual durations.
-            #[test]
-            fn reservations_never_overlap(reqs in prop::collection::vec((0u64..10_000, 1u64..512), 1..50)) {
+        /// Transfers serialize: each starts no earlier than requested
+        /// and no earlier than the previous transfer ended, and total
+        /// occupancy equals the sum of the individual durations.
+        #[test]
+        fn reservations_never_overlap() {
+            hbc_ptest::check_default("reservations_never_overlap", |g| {
+                let reqs = g.vec(1, 50, |g| (g.u64_below(10_000), g.u64_in(1, 511)));
                 let mut bus = Bus::new(8.0);
                 let mut last_end = 0u64;
                 let mut expect_busy = 0u64;
@@ -125,14 +125,14 @@ mod tests {
                 for (gap, bytes) in reqs {
                     now += gap;
                     let start = bus.reserve(now, bytes);
-                    prop_assert!(start >= now);
-                    prop_assert!(start >= last_end, "transfer started on a busy bus");
+                    assert!(start >= now);
+                    assert!(start >= last_end, "transfer started on a busy bus");
                     last_end = start + bus.transfer_cycles(bytes);
                     expect_busy += bus.transfer_cycles(bytes);
                 }
-                prop_assert_eq!(bus.busy_cycles(), expect_busy);
-                prop_assert_eq!(bus.free_at(), last_end);
-            }
+                assert_eq!(bus.busy_cycles(), expect_busy);
+                assert_eq!(bus.free_at(), last_end);
+            });
         }
     }
 }

@@ -110,11 +110,18 @@ impl CacheArray {
                 return TouchResult { hit: true, evicted: None };
             }
         }
-        // Miss: fill the invalid or least recently used way.
-        let victim = self
-            .ways(set)
-            .min_by_key(|&w| if self.tags[w].is_none() { (0, 0) } else { (1, self.stamps[w]) })
-            .expect("every set has at least one way");
+        // Miss: fill the invalid or least recently used way. Every set has
+        // at least one way (associativity is validated non-zero), so the
+        // fold over ways always yields a victim without a panic path.
+        let mut victim = (set * u64::from(self.assoc)) as usize;
+        let mut victim_key = (u8::MAX, u64::MAX);
+        for w in self.ways(set) {
+            let key = if self.tags[w].is_none() { (0, 0) } else { (1, self.stamps[w]) };
+            if key < victim_key {
+                victim = w;
+                victim_key = key;
+            }
+        }
         let evicted = self.tags[victim];
         self.tags[victim] = Some(line);
         self.stamps[victim] = self.clock;
@@ -167,9 +174,9 @@ mod tests {
         // Direct-mapped-ish: 2 ways, force 3 lines into one set.
         let mut c = CacheArray::new(64, 2, 32); // one set, two ways
         assert_eq!(c.sets(), 1);
-        c.touch(0 * 32);
-        c.touch(1 * 32);
-        c.touch(0 * 32); // line 0 most recent
+        c.touch(0);
+        c.touch(32);
+        c.touch(0); // line 0 most recent
         let r = c.touch_evict(2 * 32); // evicts line 1
         assert_eq!(r.evicted, Some(1));
         assert!(c.probe(0));

@@ -2,6 +2,95 @@
 
 use std::fmt;
 
+/// An invalid memory-subsystem configuration parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `PortModel::Ideal(0)`.
+    NoPorts,
+    /// `PortModel::Banked(0)`.
+    NoBanks,
+    /// Bank count is not a power of two (line interleaving needs one).
+    BanksNotPowerOfTwo {
+        /// Offending bank count.
+        banks: u32,
+    },
+    /// Primary-cache hit time of zero cycles.
+    ZeroHitCycles,
+    /// Primary-cache associativity of zero.
+    ZeroAssociativity,
+    /// No miss status handling registers.
+    NoMshrs,
+    /// Line size is zero or not a power of two (address mapping
+    /// interleaves on power-of-two line boundaries).
+    LineBytesNotPowerOfTwo {
+        /// Offending line size.
+        line_bytes: u64,
+    },
+    /// Capacity below one set (`line_bytes * assoc`).
+    SmallerThanOneSet,
+    /// More banks than cache lines.
+    MoreBanksThanLines {
+        /// Offending bank count.
+        banks: u32,
+    },
+    /// Line buffer configured with zero entries.
+    NoLineBufferEntries,
+    /// Line-buffer entry size is zero, not a power of two, or larger than
+    /// the primary-cache line.
+    BadLineBufferLine {
+        /// Offending entry size.
+        line_bytes: u64,
+    },
+    /// Second-level hit time of zero cycles.
+    ZeroL2HitCycles,
+    /// Store buffer with zero entries.
+    NoStoreBuffer,
+    /// A bus bandwidth that is zero, negative, or not finite.
+    BadBusBandwidth {
+        /// Offending bytes-per-cycle value.
+        bytes_per_cycle: f64,
+    },
+    /// Zero bytes fetched from memory per second-level miss.
+    ZeroMemFetch,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::NoPorts => f.write_str("need at least one ideal port"),
+            ConfigError::NoBanks => f.write_str("need at least one bank"),
+            ConfigError::BanksNotPowerOfTwo { banks } => {
+                write!(f, "bank count {banks} must be a power of two")
+            }
+            ConfigError::ZeroHitCycles => f.write_str("L1 hit time must be at least one cycle"),
+            ConfigError::ZeroAssociativity => f.write_str("L1 associativity must be at least one"),
+            ConfigError::NoMshrs => f.write_str("need at least one MSHR"),
+            ConfigError::LineBytesNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size {line_bytes} must be a non-zero power of two")
+            }
+            ConfigError::SmallerThanOneSet => f.write_str("L1 smaller than one set"),
+            ConfigError::MoreBanksThanLines { banks } => {
+                write!(f, "{banks} banks exceed the number of L1 lines")
+            }
+            ConfigError::NoLineBufferEntries => f.write_str("line buffer needs at least one entry"),
+            ConfigError::BadLineBufferLine { line_bytes } => {
+                write!(f, "line-buffer entry size {line_bytes} must be a power of two no larger than the L1 line")
+            }
+            ConfigError::ZeroL2HitCycles => {
+                f.write_str("second-level hit time must be at least one cycle")
+            }
+            ConfigError::NoStoreBuffer => f.write_str("store buffer must have at least one entry"),
+            ConfigError::BadBusBandwidth { bytes_per_cycle } => {
+                write!(f, "bus bandwidth {bytes_per_cycle} must be positive and finite")
+            }
+            ConfigError::ZeroMemFetch => f.write_str("memory fetch size must be at least one byte"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// How the primary data cache provides bandwidth (paper Section 2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortModel {
@@ -28,14 +117,14 @@ impl PortModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if the port or bank count is zero or a bank count
-    /// is not a power of two.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Fails if the port or bank count is zero or a bank count is not a
+    /// power of two.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         match *self {
-            PortModel::Ideal(0) => Err("need at least one ideal port".into()),
-            PortModel::Banked(0) => Err("need at least one bank".into()),
+            PortModel::Ideal(0) => Err(ConfigError::NoPorts),
+            PortModel::Banked(0) => Err(ConfigError::NoBanks),
             PortModel::Banked(n) if !n.is_power_of_two() => {
-                Err(format!("bank count {n} must be a power of two"))
+                Err(ConfigError::BanksNotPowerOfTwo { banks: n })
             }
             _ => Ok(()),
         }
@@ -60,6 +149,24 @@ pub struct LineBufferConfig {
     pub entries: usize,
     /// Bytes per entry (one primary-cache line, 32 B).
     pub line_bytes: u64,
+}
+
+impl LineBufferConfig {
+    /// Validates the configuration (in isolation; [`L1Config::validate`]
+    /// additionally checks the entry size against the cache line).
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero entries or a non-power-of-two entry size.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.entries == 0 {
+            return Err(ConfigError::NoLineBufferEntries);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::BadLineBufferLine { line_bytes: self.line_bytes });
+        }
+        Ok(())
+    }
 }
 
 impl Default for LineBufferConfig {
@@ -105,8 +212,46 @@ impl L1Config {
 
     /// Enables the paper's 32-entry line buffer.
     pub fn with_line_buffer(mut self) -> Self {
-        self.line_buffer = Some(LineBufferConfig { entries: 32, line_bytes: self.line_bytes.min(32) });
+        self.line_buffer =
+            Some(LineBufferConfig { entries: 32, line_bytes: self.line_bytes.min(32) });
         self
+    }
+
+    /// Validates the primary-cache configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid parameter: ports, geometry (line size,
+    /// associativity, capacity, bank count), MSHRs, or the line buffer.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.ports.validate()?;
+        if self.hit_cycles == 0 {
+            return Err(ConfigError::ZeroHitCycles);
+        }
+        if self.assoc == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if self.mshrs == 0 {
+            return Err(ConfigError::NoMshrs);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineBytesNotPowerOfTwo { line_bytes: self.line_bytes });
+        }
+        if self.size_bytes < self.line_bytes * u64::from(self.assoc) {
+            return Err(ConfigError::SmallerThanOneSet);
+        }
+        if let PortModel::Banked(n) = self.ports {
+            if u64::from(n) > self.size_bytes / self.line_bytes {
+                return Err(ConfigError::MoreBanksThanLines { banks: n });
+            }
+        }
+        if let Some(lb) = self.line_buffer {
+            lb.validate()?;
+            if lb.line_bytes > self.line_bytes {
+                return Err(ConfigError::BadLineBufferLine { line_bytes: lb.line_bytes });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -259,28 +404,23 @@ impl MemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first invalid parameter.
-    pub fn validate(&self) -> Result<(), String> {
-        self.l1.ports.validate()?;
-        if self.l1.hit_cycles == 0 {
-            return Err("L1 hit time must be at least one cycle".into());
-        }
-        if self.l1.mshrs == 0 {
-            return Err("need at least one MSHR".into());
-        }
-        if self.l1.size_bytes < self.l1.line_bytes * u64::from(self.l1.assoc) {
-            return Err("L1 smaller than one set".into());
-        }
-        if let PortModel::Banked(n) = self.l1.ports {
-            if u64::from(n) > self.l1.size_bytes / self.l1.line_bytes {
-                return Err(format!("{n} banks exceed the number of L1 lines"));
-            }
-        }
+    /// Fails with the first invalid parameter, starting with the primary
+    /// cache ([`L1Config::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1.validate()?;
         if self.l2.hit_cycles() == 0 {
-            return Err("second-level hit time must be at least one cycle".into());
+            return Err(ConfigError::ZeroL2HitCycles);
         }
         if self.store_buffer == 0 {
-            return Err("store buffer must have at least one entry".into());
+            return Err(ConfigError::NoStoreBuffer);
+        }
+        for bw in [self.chip_bus_bytes_per_cycle, self.mem_bus_bytes_per_cycle] {
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(ConfigError::BadBusBandwidth { bytes_per_cycle: bw });
+            }
+        }
+        if self.mem_fetch_bytes == 0 {
+            return Err(ConfigError::ZeroMemFetch);
         }
         Ok(())
     }

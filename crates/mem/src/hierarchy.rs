@@ -3,7 +3,7 @@
 use crate::addr::line_index;
 use crate::bus::Bus;
 use crate::cache::CacheArray;
-use crate::config::{MemConfig, SecondLevel};
+use crate::config::{ConfigError, MemConfig, SecondLevel};
 use crate::line_buffer::LineBuffer;
 use crate::mshr::MshrFile;
 use crate::ports::{PortDenied, PortTracker};
@@ -81,7 +81,7 @@ impl LoadResponse {
 ///     other => panic!("expected a miss, got {other:?}"),
 /// }
 /// mem.end_cycle();
-/// # Ok::<(), String>(())
+/// # Ok::<(), hbc_mem::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemSystem {
@@ -103,8 +103,8 @@ impl MemSystem {
     ///
     /// # Errors
     ///
-    /// Returns the validation message if `cfg` is inconsistent.
-    pub fn new(cfg: MemConfig) -> Result<Self, String> {
+    /// Returns the violated constraint if `cfg` is inconsistent.
+    pub fn new(cfg: MemConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let (l2_size, l2_assoc, l2_line) = match cfg.l2 {
             SecondLevel::Sram { size_bytes, assoc, line_bytes, .. }
@@ -135,9 +135,13 @@ impl MemSystem {
     /// Starts cycle `now`: retires completed fills and frees the ports.
     pub fn begin_cycle(&mut self, now: u64) {
         debug_assert!(now >= self.now, "cycles must be monotone");
+        #[cfg(feature = "sanitize")]
+        assert!(now >= self.now, "sanitize: cycle went backwards ({} after {})", now, self.now);
         self.now = now;
         self.mshrs.retire(now);
         self.ports.begin_cycle();
+        #[cfg(feature = "sanitize")]
+        self.assert_invariants();
     }
 
     /// Presents a load to `addr`.
@@ -163,10 +167,7 @@ impl MemSystem {
             }
         }
         let would_hit = merge_with.is_none() && self.l1.probe(addr);
-        if !would_hit
-            && merge_with.is_none()
-            && self.mshrs.in_flight() == self.mshrs.capacity()
-        {
+        if !would_hit && merge_with.is_none() && self.mshrs.in_flight() == self.mshrs.capacity() {
             self.stats.mshr_rejections += 1;
             return LoadResponse::Rejected(RejectReason::MshrFull);
         }
@@ -242,6 +243,48 @@ impl MemSystem {
             }
             if let Some(evicted) = touch.evicted {
                 self.invalidate_lb_line(evicted);
+            }
+        }
+        #[cfg(feature = "sanitize")]
+        self.assert_invariants();
+    }
+
+    /// Sanitizer: checks the cross-component invariants the cycle protocol
+    /// is supposed to maintain. Called from [`MemSystem::begin_cycle`] and
+    /// [`MemSystem::end_cycle`] in `sanitize` builds; any violation is a
+    /// simulator bug, so it panics.
+    #[cfg(feature = "sanitize")]
+    fn assert_invariants(&self) {
+        // Ports: a cycle can never hand out more accesses than the model's
+        // peak bandwidth.
+        let peak = self.cfg.l1.ports.peak_per_cycle();
+        assert!(
+            self.ports.used() <= peak,
+            "sanitize: {} port grants in one cycle exceed the peak of {peak}",
+            self.ports.used()
+        );
+        // MSHRs: bounded, unique, and retired promptly (leak detection).
+        self.mshrs.assert_sane(self.now);
+        // Store buffer: bounded by its configured depth.
+        assert!(
+            self.stores.len() <= self.cfg.store_buffer,
+            "sanitize: {} buffered stores exceed the {}-entry store buffer",
+            self.stores.len(),
+            self.cfg.store_buffer
+        );
+        // Line buffer: bounded and duplicate-free; and when its entries are
+        // whole L1 lines, every resident line must still be resident in the
+        // L1 (evictions invalidate it), keeping the two levels coherent.
+        if let Some(lb) = &self.lb {
+            lb.assert_sane();
+            if lb.line_bytes() == self.cfg.l1.line_bytes {
+                for line in lb.resident_lines() {
+                    let addr = line * self.cfg.l1.line_bytes;
+                    assert!(
+                        self.l1.probe(addr),
+                        "sanitize: line buffer holds line {line:#x} absent from the L1"
+                    );
+                }
             }
         }
     }

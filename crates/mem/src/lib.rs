@@ -34,7 +34,7 @@ mod store_buffer;
 
 pub use bus::Bus;
 pub use cache::{CacheArray, TouchResult};
-pub use config::{L1Config, LineBufferConfig, MemConfig, PortModel, SecondLevel};
+pub use config::{ConfigError, L1Config, LineBufferConfig, MemConfig, PortModel, SecondLevel};
 pub use hierarchy::{LoadResponse, MemSystem, RejectReason};
 pub use line_buffer::LineBuffer;
 pub use mshr::{MshrFile, MshrFullError};

@@ -84,13 +84,14 @@ impl LineBuffer {
             return;
         }
         if self.lines.len() == self.entries {
-            let lru = self
-                .lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(i, _)| i)
-                .expect("buffer is non-empty");
+            // Evict the LRU entry; a direct scan keeps this panic-free
+            // (capacity is validated non-zero, so the buffer is non-empty).
+            let mut lru = 0;
+            for (i, (_, stamp)) in self.lines.iter().enumerate() {
+                if *stamp < self.lines[lru].1 {
+                    lru = i;
+                }
+            }
             self.lines.swap_remove(lru);
         }
         self.lines.push((line, self.clock));
@@ -115,6 +116,35 @@ impl LineBuffer {
     /// Lifetime lookup count.
     pub fn lookups(&self) -> u64 {
         self.lookups
+    }
+
+    /// Sanitizer: the resident line indices (unordered).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().map(|(l, _)| *l)
+    }
+
+    /// Sanitizer: entry size in bytes.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Sanitizer: panics if occupancy exceeds capacity or lines duplicate.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn assert_sane(&self) {
+        assert!(
+            self.lines.len() <= self.entries,
+            "sanitize: line buffer holds {} lines with only {} entries",
+            self.lines.len(),
+            self.entries
+        );
+        for (i, (line, _)) in self.lines.iter().enumerate() {
+            assert!(
+                !self.lines[..i].iter().any(|(l, _)| l == line),
+                "sanitize: duplicate line-buffer entries for line {line}"
+            );
+        }
     }
 
     /// Hit ratio over all lookups (zero when never used).
@@ -144,8 +174,8 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut lb = LineBuffer::new(2, 32);
-        lb.fill(0 * 32);
-        lb.fill(1 * 32);
+        lb.fill(0);
+        lb.fill(32);
         assert!(lb.lookup(0)); // line 0 now most recent
         lb.fill(2 * 32); // evicts line 1
         assert!(lb.probe(0));

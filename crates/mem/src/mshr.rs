@@ -122,6 +122,29 @@ impl MshrFile {
     pub fn full_rejections(&self) -> u64 {
         self.full_rejections
     }
+
+    /// Sanitizer: panics if the file leaks entries past their fill time,
+    /// exceeds its capacity, or holds duplicate lines.
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn assert_sane(&self, now: u64) {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "sanitize: {} MSHRs in flight exceed capacity {}",
+            self.entries.len(),
+            self.capacity
+        );
+        for (i, (line, complete_at)) in self.entries.iter().enumerate() {
+            assert!(
+                *complete_at > now,
+                "sanitize: MSHR leak: line {line} completed at {complete_at} \
+                 but is still allocated at {now}"
+            );
+            assert!(
+                !self.entries[..i].iter().any(|(l, _)| l == line),
+                "sanitize: duplicate MSHR entries for line {line}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

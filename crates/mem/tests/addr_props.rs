@@ -1,0 +1,94 @@
+//! Property tests for the address → bank mapping.
+//!
+//! The banked-cache model relies on line interleaving being a *bijection*:
+//! any window of `nbanks` consecutive lines touches every bank exactly
+//! once, so a unit-stride stream load-balances perfectly (paper Section 3:
+//! banked caches bandwidth-match duplication only when conflicts are rare).
+
+use hbc_mem::addr::{bank_of, line_base, line_index};
+use hbc_ptest::Gen;
+
+const BANK_COUNTS: [u32; 5] = [1, 2, 4, 8, 128];
+
+/// A random power-of-two line size from 4 B to 512 B.
+fn line_bytes(g: &mut Gen) -> u64 {
+    1 << g.u32_in(2, 9)
+}
+
+#[test]
+fn bank_mapping_is_bijective_over_any_bank_aligned_window() {
+    hbc_ptest::check_default("bank_bijection", |g| {
+        let lb = line_bytes(g);
+        for &nbanks in &BANK_COUNTS {
+            // A line-aligned region of exactly `nbanks` lines, starting at
+            // a bank-aligned line so the window covers one full rotation.
+            let base_line = g.u64_in(0, 1 << 40) * u64::from(nbanks);
+            let mut seen = vec![false; nbanks as usize];
+            for i in 0..u64::from(nbanks) {
+                let addr = (base_line + i) * lb;
+                let bank = bank_of(addr, lb, nbanks);
+                assert!(bank < nbanks, "bank {bank} out of range for {nbanks} banks");
+                assert!(
+                    !seen[bank as usize],
+                    "bank {bank} hit twice in a {nbanks}-line window (line size {lb})"
+                );
+                seen[bank as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "some bank never hit: {seen:?}");
+        }
+    });
+}
+
+#[test]
+fn every_window_of_nbanks_lines_covers_every_bank() {
+    // Stronger than bank-aligned windows: *any* run of `nbanks` consecutive
+    // lines is a permutation of the banks, wherever it starts.
+    hbc_ptest::check_default("bank_window_permutation", |g| {
+        let lb = line_bytes(g);
+        let nbanks = *g.pick(&BANK_COUNTS);
+        let start = g.u64_in(0, 1 << 45);
+        let mut seen = vec![false; nbanks as usize];
+        for i in 0..u64::from(nbanks) {
+            let bank = bank_of((start + i) * lb, lb, nbanks) as usize;
+            assert!(!seen[bank]);
+            seen[bank] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
+
+#[test]
+fn offsets_within_a_line_never_change_the_bank() {
+    hbc_ptest::check_default("bank_line_offset_invariant", |g| {
+        let lb = line_bytes(g);
+        let nbanks = *g.pick(&BANK_COUNTS);
+        let addr = g.u64_in(0, u64::MAX / 2);
+        let offset = g.u64_in(0, lb - 1);
+        let base = line_base(addr, lb);
+        assert_eq!(bank_of(base, lb, nbanks), bank_of(base + offset, lb, nbanks));
+        assert_eq!(line_index(base, lb), line_index(base + offset, lb));
+    });
+}
+
+#[test]
+fn non_power_of_two_line_sizes_are_rejected() {
+    hbc_ptest::check_default("bank_bad_line_size", |g| {
+        // Any size with more than one set bit must be rejected up front.
+        let bad = g.u64_in(3, 1 << 12) | 3;
+        assert!(!bad.is_power_of_two());
+        let addr = g.u64_in(0, u64::MAX / 2);
+        let panicked = std::panic::catch_unwind(|| line_index(addr, bad)).is_err();
+        assert!(panicked, "line_index accepted non-power-of-two line size {bad}");
+        let panicked = std::panic::catch_unwind(|| bank_of(addr, bad, 8)).is_err();
+        assert!(panicked, "bank_of accepted non-power-of-two line size {bad}");
+    });
+}
+
+#[test]
+fn zero_banks_rejected_for_any_address() {
+    hbc_ptest::check_default("bank_zero_banks", |g| {
+        let lb = line_bytes(g);
+        let addr = g.u64_in(0, u64::MAX / 2);
+        assert!(std::panic::catch_unwind(|| bank_of(addr, lb, 0)).is_err());
+    });
+}

@@ -295,21 +295,21 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// Interpolated access times are always bracketed by the
-            /// neighbouring control points.
-            #[test]
-            fn interpolation_is_bracketed(bytes in 4096u64..=(1 << 20)) {
+        /// Interpolated access times are always bracketed by the
+        /// neighbouring control points.
+        #[test]
+        fn interpolation_is_bracketed() {
+            hbc_ptest::check_default("interpolation_is_bracketed", |g| {
+                let bytes = g.u64_in(4096, 1 << 20);
                 let m = AccessTimeModel::default();
                 let t = m.access_time(CacheSize::from_bytes(bytes), PortStructure::SinglePorted);
                 let t = t.unwrap().get();
-                prop_assert!((24.0..=55.0).contains(&t), "t = {t}");
+                assert!((24.0..=55.0).contains(&t), "t = {t}");
                 // The banked curve never undercuts single-ported.
                 let b = m.access_time(CacheSize::from_bytes(bytes), PortStructure::Banked8);
-                prop_assert!(b.unwrap().get() >= t - 1e-9);
-            }
+                assert!(b.unwrap().get() >= t - 1e-9);
+            });
         }
     }
 

@@ -15,6 +15,11 @@
 //! [`crate::AccessTimeModel`] are the authoritative reproduction of the
 //! figure itself.
 //!
+//! Delays here are in *relative units* by design — the model compares
+//! organizations against each other and is calibrated to FO4 only through
+//! [`CactiModel::calibrate_fo4`], so its public surface is raw `f64`.
+// hbc-allow-file: units (relative-delay model; FO4 enters via calibrate_fo4)
+//!
 //! # Example
 //!
 //! ```
@@ -202,21 +207,21 @@ impl CactiModel {
     /// than one set row or fewer than eight columns per sub-array).
     pub fn delays(&self, size: CacheSize, org: Organization) -> Option<ComponentDelays> {
         let set_bytes = u64::from(self.line_bytes * self.assoc);
-        if size.bytes() % set_bytes != 0 {
+        if !size.bytes().is_multiple_of(set_bytes) {
             return None;
         }
         let sets = size.bytes() / set_bytes;
         if sets == 0
-            || sets * u64::from(org.nspd) % u64::from(org.ndbl) != 0
-            || u64::from(8 * self.line_bytes * self.assoc * org.nspd) % u64::from(org.ndwl) != 0
+            || !(sets * u64::from(org.nspd)).is_multiple_of(u64::from(org.ndbl))
+            || !u64::from(8 * self.line_bytes * self.assoc * org.nspd)
+                .is_multiple_of(u64::from(org.ndwl))
         {
             return None;
         }
         // Rows of cells in one sub-array.
         let rows = sets * u64::from(org.nspd) / u64::from(org.ndbl);
         // Bit columns in one sub-array.
-        let cols =
-            u64::from(8 * self.line_bytes * self.assoc * org.nspd) / u64::from(org.ndwl);
+        let cols = u64::from(8 * self.line_bytes * self.assoc * org.nspd) / u64::from(org.ndwl);
         if rows < 1 || cols < 8 {
             return None;
         }
@@ -291,7 +296,7 @@ impl CactiModel {
     /// Panics if `nbanks` is not a power of two or does not divide `size`.
     pub fn external_banked_delay(&self, size: CacheSize, nbanks: u32) -> f64 {
         assert!(nbanks.is_power_of_two(), "bank count must be a power of two");
-        assert!(size.bytes() % u64::from(nbanks) == 0, "banks must divide capacity");
+        assert!(size.bytes().is_multiple_of(u64::from(nbanks)), "banks must divide capacity");
         let bank = CacheSize::from_bytes(size.bytes() / u64::from(nbanks));
         let per_bank = self.single_ported_delay(bank);
         let levels = f64::from(nbanks).log2();
@@ -390,8 +395,10 @@ mod tests {
     #[test]
     fn calibration_hits_anchors() {
         let m = CactiModel::default();
-        let to_fo4 = m.calibrate_fo4((CacheSize::from_kib(8), 25.0), (CacheSize::from_mib(1), 55.0));
-        let d8 = m.best_organization(CacheSize::from_kib(8), &SearchSpace::default()).delays.total();
+        let to_fo4 =
+            m.calibrate_fo4((CacheSize::from_kib(8), 25.0), (CacheSize::from_mib(1), 55.0));
+        let d8 =
+            m.best_organization(CacheSize::from_kib(8), &SearchSpace::default()).delays.total();
         let d1m =
             m.best_organization(CacheSize::from_mib(1), &SearchSpace::default()).delays.total();
         assert!((to_fo4(d8) - 25.0).abs() < 1e-9);
@@ -403,7 +410,8 @@ mod tests {
         // The analytical curve need not match the digitized Figure 1 exactly,
         // but it should stay within a loose envelope of it.
         let m = CactiModel::default();
-        let to_fo4 = m.calibrate_fo4((CacheSize::from_kib(8), 25.0), (CacheSize::from_mib(1), 55.0));
+        let to_fo4 =
+            m.calibrate_fo4((CacheSize::from_kib(8), 25.0), (CacheSize::from_mib(1), 55.0));
         for s in sizes() {
             let t = to_fo4(m.best_organization(s, &SearchSpace::default()).delays.total());
             assert!(t > 15.0 && t < 60.0, "calibrated {s} = {t} FO4 outside envelope");

@@ -153,6 +153,7 @@ impl Nanoseconds {
     /// # Panics
     ///
     /// Panics if `cycle` is zero.
+    // hbc-allow: units (whole cycle counts are the simulator's native u64)
     pub fn to_cycles(self, cycle: Nanoseconds) -> u64 {
         assert!(cycle.0 > 0.0, "cycle time must be positive");
         (self.0 / cycle.0).ceil() as u64

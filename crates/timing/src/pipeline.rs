@@ -88,9 +88,8 @@ mod tests {
     fn paper_fit_statements_hold() {
         let (model, tech) = setup();
         let cycle25 = Fo4::new(25.0);
-        let at = |kib| {
-            model.access_time(CacheSize::from_kib(kib), PortStructure::SinglePorted).unwrap()
-        };
+        let at =
+            |kib| model.access_time(CacheSize::from_kib(kib), PortStructure::SinglePorted).unwrap();
         // 512 KB fits two cycles at 25 FO4 with one 1.5 FO4 latch.
         assert_eq!(cycles_needed(at(512), cycle25, &tech, 3), Some(2));
         // 1 MB needs three cycles at 25 FO4.
@@ -125,13 +124,8 @@ mod tests {
         for cycle in [10.0_f64, 15.0, 20.0, 25.0, 30.0] {
             let mut prev = None;
             for depth in 1..=3 {
-                let m = max_cache_size(
-                    &model,
-                    PortStructure::Duplicate,
-                    Fo4::new(cycle),
-                    &tech,
-                    depth,
-                );
+                let m =
+                    max_cache_size(&model, PortStructure::Duplicate, Fo4::new(cycle), &tech, depth);
                 if let (Some(p), Some(c)) = (prev, m) {
                     assert!(c >= p, "deeper pipeline shrank cache at {cycle} FO4");
                 }

@@ -43,11 +43,13 @@ impl CacheSize {
     }
 
     /// Capacity in bytes.
+    // hbc-allow: units (raw accessor at the newtype boundary, like `get`)
     pub fn bytes(self) -> u64 {
         self.0
     }
 
     /// Capacity in kibibytes, rounded down.
+    // hbc-allow: units (raw accessor at the newtype boundary, like `get`)
     pub fn kib(self) -> u64 {
         self.0 / 1024
     }
@@ -85,9 +87,9 @@ impl CacheSize {
 impl fmt::Display for CacheSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const MIB: u64 = 1024 * 1024;
-        if self.0 >= MIB && self.0 % MIB == 0 {
+        if self.0 >= MIB && self.0.is_multiple_of(MIB) {
             write!(f, "{}M", self.0 / MIB)
-        } else if self.0 >= 1024 && self.0 % 1024 == 0 {
+        } else if self.0 >= 1024 && self.0.is_multiple_of(1024) {
             write!(f, "{}K", self.0 / 1024)
         } else {
             write!(f, "{}B", self.0)

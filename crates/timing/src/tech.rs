@@ -46,11 +46,13 @@ impl Technology {
     }
 
     /// Drawn feature size in micrometres.
+    // hbc-allow: units (raw accessor at the newtype boundary, like `get`)
     pub fn feature_um(&self) -> f64 {
         self.feature_um
     }
 
     /// Duration of one FO4 delay in nanoseconds.
+    // hbc-allow: units (raw accessor at the newtype boundary, like `get`)
     pub fn fo4_ns(&self) -> f64 {
         self.fo4_ns
     }

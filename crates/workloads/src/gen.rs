@@ -131,11 +131,8 @@ impl WorkloadGen {
 
     fn advance_mode(&mut self) {
         if self.mode_run_left == 0 {
-            self.cur_mode = if self.rng.chance(self.kernel_frac) {
-                ExecMode::Kernel
-            } else {
-                ExecMode::User
-            };
+            self.cur_mode =
+                if self.rng.chance(self.kernel_frac) { ExecMode::Kernel } else { ExecMode::User };
             self.mode_run_left = 1 + self.rng.geometric(MODE_RUN_LEN as f64);
         }
         self.mode_run_left -= 1;
@@ -216,8 +213,7 @@ impl WorkloadGen {
         let store_cut = load_cut + self.spec.table2.store_pct;
         let branch_cut = store_cut + self.spec.branch_frac * 100.0;
 
-        let state_idx =
-            if mode == ExecMode::Kernel { None } else { Some(self.cur_proc) };
+        let state_idx = if mode == ExecMode::Kernel { None } else { Some(self.cur_proc) };
 
         if u < store_cut {
             // Memory operation: pick a pattern in the current mode's space.
@@ -362,10 +358,8 @@ mod tests {
     fn kernel_fraction_matches_spec() {
         let bench = Benchmark::Database; // 52% of non-idle time in kernel
         let n = 400_000;
-        let kernel = WorkloadGen::new(bench, 11)
-            .take(n)
-            .filter(|i| i.mode() == ExecMode::Kernel)
-            .count();
+        let kernel =
+            WorkloadGen::new(bench, 11).take(n).filter(|i| i.mode() == ExecMode::Kernel).count();
         let frac = kernel as f64 / n as f64;
         let expect = bench.spec().table2.kernel_frac();
         assert!((frac - expect).abs() < 0.06, "kernel frac {frac} vs {expect}");
@@ -373,15 +367,11 @@ mod tests {
 
     #[test]
     fn fp_benchmarks_emit_fp_ops() {
-        let fp_ops = WorkloadGen::new(Benchmark::Tomcatv, 1)
-            .take(20_000)
-            .filter(|i| i.op().is_fp())
-            .count();
+        let fp_ops =
+            WorkloadGen::new(Benchmark::Tomcatv, 1).take(20_000).filter(|i| i.op().is_fp()).count();
         assert!(fp_ops > 5000, "tomcatv should be fp-heavy, got {fp_ops}");
-        let int_fp = WorkloadGen::new(Benchmark::Li, 1)
-            .take(20_000)
-            .filter(|i| i.op().is_fp())
-            .count();
+        let int_fp =
+            WorkloadGen::new(Benchmark::Li, 1).take(20_000).filter(|i| i.op().is_fp()).count();
         assert!(int_fp < 200, "li should be almost fp-free, got {int_fp}");
     }
 
@@ -402,11 +392,8 @@ mod tests {
         // li has a pointer-chase pattern; some loads must depend on earlier
         // loads (not just nearby compute).
         let insts: Vec<_> = WorkloadGen::new(Benchmark::Li, 4).take(50_000).collect();
-        let load_ids: std::collections::HashSet<u64> = insts
-            .iter()
-            .filter(|i| i.op().is_load())
-            .map(|i| i.id().get())
-            .collect();
+        let load_ids: std::collections::BTreeSet<u64> =
+            insts.iter().filter(|i| i.op().is_load()).map(|i| i.id().get()).collect();
         let dependent_loads = insts
             .iter()
             .filter(|i| i.op().is_load())
@@ -420,7 +407,7 @@ mod tests {
         // database runs two processes; user addresses must appear in two
         // distinct high-bit regions (pmake likewise).
         let spaces_of = |b: Benchmark| {
-            let mut spaces = std::collections::HashSet::new();
+            let mut spaces = std::collections::BTreeSet::new();
             for inst in WorkloadGen::new(b, 6).take(300_000) {
                 if inst.mode() == ExecMode::User {
                     if let Some(a) = inst.addr() {

@@ -44,5 +44,5 @@ pub use benchmarks::{Benchmark, UnknownBenchmarkError};
 pub use gen::WorkloadGen;
 pub use regions::PatternSpec;
 pub use rng::Rng;
-pub use spec::{BenchmarkSpec, Group, Table2Row};
+pub use spec::{BenchmarkSpec, Group, SpecError, Table2Row};
 pub use stats::StreamStats;

@@ -244,7 +244,7 @@ mod tests {
     fn dispersal_keeps_distinct_lines_distinct() {
         // The hot-block dispersal is a bijection: two logical lines never
         // collapse onto one physical line.
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for logical_line in 0..128u64 {
             let phys = super::disperse(logical_line * 32, 4096) / 32;
             if let Some(prev) = seen.insert(phys, logical_line) {
@@ -267,10 +267,7 @@ mod tests {
     #[test]
     fn stack_has_high_line_locality() {
         let a = addrs(PatternSpec::Stack { footprint: 4096 }, 2000);
-        let same_line = a
-            .windows(2)
-            .filter(|w| w[0] / 32 == w[1] / 32)
-            .count();
+        let same_line = a.windows(2).filter(|w| w[0] / 32 == w[1] / 32).count();
         let frac = same_line as f64 / (a.len() - 1) as f64;
         assert!(frac > 0.4, "stack walk should mostly re-touch lines, got {frac}");
         for addr in a {

@@ -53,6 +53,76 @@ impl Table2Row {
     }
 }
 
+/// A violated [`BenchmarkSpec`] consistency constraint.
+///
+/// Each variant names the offending spec so error messages from sweeps
+/// over many benchmarks stay attributable.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// Loads + stores + branches exceed 100% of the instruction stream.
+    MixExceedsStream {
+        /// Offending spec.
+        name: &'static str,
+        /// The combined percentage.
+        mix_pct: f64,
+    },
+    /// A fractional field is outside `[0, 1]`.
+    NotAProbability {
+        /// Offending spec.
+        name: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Mean dependency distance below one instruction.
+    DepMeanTooSmall {
+        /// Offending spec.
+        name: &'static str,
+    },
+    /// No user reference pattern has positive weight.
+    NoWeightedUserPattern {
+        /// Offending spec.
+        name: &'static str,
+    },
+    /// Process count of zero.
+    NoProcesses {
+        /// Offending spec.
+        name: &'static str,
+    },
+    /// More than one process but no context-switch interval.
+    MissingCtxInterval {
+        /// Offending spec.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MixExceedsStream { name, mix_pct } => {
+                write!(f, "{name}: loads+stores+branches exceed 100% ({mix_pct:.1})")
+            }
+            SpecError::NotAProbability { name, field, value } => {
+                write!(f, "{name}: {field} = {value} is not a probability")
+            }
+            SpecError::DepMeanTooSmall { name } => {
+                write!(f, "{name}: dep_mean must be at least 1")
+            }
+            SpecError::NoWeightedUserPattern { name } => {
+                write!(f, "{name}: needs at least one weighted user pattern")
+            }
+            SpecError::NoProcesses { name } => write!(f, "{name}: needs at least one process"),
+            SpecError::MissingCtxInterval { name } => {
+                write!(f, "{name}: multi-process spec needs a context-switch interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Complete parameterization of one synthetic benchmark model.
 ///
 /// This is a passive configuration record (fields are public by design);
@@ -111,16 +181,16 @@ impl BenchmarkSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint: fractions
-    /// must be probabilities, the instruction mix must fit in 100%, and at
-    /// least one user pattern with positive weight is required.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint: fractions must be
+    /// probabilities, the instruction mix must fit in 100%, and at least
+    /// one user pattern with positive weight is required.
+    pub fn validate(&self) -> Result<(), SpecError> {
         let t = &self.table2;
         let mix = t.load_pct + t.store_pct + self.branch_frac * 100.0;
         if mix >= 100.0 {
-            return Err(format!("{}: loads+stores+branches exceed 100% ({mix:.1})", self.name));
+            return Err(SpecError::MixExceedsStream { name: self.name, mix_pct: mix });
         }
-        for (label, v) in [
+        for (field, v) in [
             ("branch_frac", self.branch_frac),
             ("branch_accuracy", self.branch_accuracy),
             ("taken_frac", self.taken_frac),
@@ -131,20 +201,20 @@ impl BenchmarkSpec {
             ("load_use_prob", self.load_use_prob),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{}: {label} = {v} is not a probability", self.name));
+                return Err(SpecError::NotAProbability { name: self.name, field, value: v });
             }
         }
         if self.dep_mean < 1.0 {
-            return Err(format!("{}: dep_mean must be at least 1", self.name));
+            return Err(SpecError::DepMeanTooSmall { name: self.name });
         }
         if self.user_mem.iter().all(|(w, _)| *w <= 0.0) {
-            return Err(format!("{}: needs at least one weighted user pattern", self.name));
+            return Err(SpecError::NoWeightedUserPattern { name: self.name });
         }
         if self.processes == 0 {
-            return Err(format!("{}: needs at least one process", self.name));
+            return Err(SpecError::NoProcesses { name: self.name });
         }
         if self.processes > 1 && self.ctx_interval == 0 {
-            return Err(format!("{}: multi-process spec needs a context-switch interval", self.name));
+            return Err(SpecError::MissingCtxInterval { name: self.name });
         }
         Ok(())
     }
@@ -214,7 +284,7 @@ mod tests {
         let mut s = minimal();
         s.table2.load_pct = 80.0;
         s.table2.store_pct = 30.0;
-        assert!(s.validate().unwrap_err().contains("exceed"));
+        assert!(s.validate().unwrap_err().to_string().contains("exceed"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Instruction-stream characterization (paper Table 2 reproduction).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use hbc_isa::{ExecMode, OpClass};
 
@@ -44,7 +44,7 @@ impl StreamStats {
             kernel: 0,
             distinct_lines: 0,
         };
-        let mut lines: HashSet<u64> = HashSet::new();
+        let mut lines: BTreeSet<u64> = BTreeSet::new();
         for _ in 0..n {
             let i = gen.next_inst();
             match i.op() {
@@ -154,10 +154,7 @@ mod tests {
         };
         let gcc = touched(Benchmark::Gcc);
         let database = touched(Benchmark::Database);
-        assert!(
-            database > 2 * gcc,
-            "database WS ({database}) should dwarf gcc ({gcc})"
-        );
+        assert!(database > 2 * gcc, "database WS ({database}) should dwarf gcc ({gcc})");
     }
 
     #[test]

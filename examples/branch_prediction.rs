@@ -11,10 +11,7 @@ use hbcache::isa::OpClass;
 use hbcache::workloads::{Benchmark, WorkloadGen};
 
 fn main() {
-    println!(
-        "{:<10}  {:>10}  {:>10}  {:>10}",
-        "benchmark", "spec acc", "gshare acc", "branches"
-    );
+    println!("{:<10}  {:>10}  {:>10}  {:>10}", "benchmark", "spec acc", "gshare acc", "branches");
     for b in Benchmark::ALL {
         let spec_acc = b.spec().branch_accuracy;
         let mut predictor = Gshare::new(13);

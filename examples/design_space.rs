@@ -45,8 +45,7 @@ fn main() {
                 .instructions(40_000)
                 .warmup(8_000)
                 .run();
-            let ns_per_instr = (result.run().cycles as f64
-                / result.run().instructions as f64)
+            let ns_per_instr = (result.run().cycles as f64 / result.run().instructions as f64)
                 * tech.cycle_ns(cycle_fo4).get();
             println!(
                 "{cycle:>6} FO4  {depth:>4}~  {:>9}  {:>7.3}  {ns_per_instr:>12.3}",

@@ -23,10 +23,7 @@ fn ipc(b: Benchmark, ports: PortModel, hit: u64, lb: bool) -> f64 {
 
 fn main() {
     println!("32 KB caches, fixed cycle time. LB = 32-entry line buffer.\n");
-    println!(
-        "{:<10} {:>4}  {:>17}  {:>17}",
-        "benchmark", "hit", "8-way banked", "duplicate"
-    );
+    println!("{:<10} {:>4}  {:>17}  {:>17}", "benchmark", "hit", "8-way banked", "duplicate");
     println!("{:<10} {:>4}  {:>8} {:>8}  {:>8} {:>8}", "", "", "no LB", "LB", "no LB", "LB");
     for b in Benchmark::REPRESENTATIVES {
         for hit in 1..=3u64 {

@@ -32,9 +32,8 @@ fn avg<F: Fn(Benchmark) -> f64>(f: F) -> f64 {
 #[test]
 fn ports_show_diminishing_returns() {
     let reps = Benchmark::REPRESENTATIVES;
-    let mean = |n: u32| {
-        reps.iter().map(|&b| ipc(b, 32, PortModel::Ideal(n), 1, false)).sum::<f64>() / 3.0
-    };
+    let mean =
+        |n: u32| reps.iter().map(|&b| ipc(b, 32, PortModel::Ideal(n), 1, false)).sum::<f64>() / 3.0;
     let one = mean(1);
     let two = mean(2);
     let three = mean(3);

@@ -1,61 +1,76 @@
 //! Property-based tests over the public API, spanning crates.
+//!
+//! These use the deterministic in-repo harness (`hbc-ptest`): fixed case
+//! counts drawn from fixed seeds, so the suite is a pure function of the
+//! source tree.
 
-use proptest::prelude::*;
+use hbc_ptest::check_default;
 
 use hbcache::isa::{DynInst, ExecMode, InstId, OpClass};
 use hbcache::mem::{CacheArray, LineBuffer, MemConfig, MemSystem, PortModel};
 use hbcache::timing::{pipeline, AccessTimeModel, CacheSize, Fo4, PortStructure, Technology};
 use hbcache::workloads::{Benchmark, WorkloadGen};
 
-proptest! {
-    /// Single-ported (and duplicate) access time is monotone non-decreasing
-    /// in capacity; the banked curve never undercuts it (its small-cache
-    /// wiring penalty makes it legitimately non-monotone below 16 KB).
-    #[test]
-    fn access_time_monotone(a in 12u64..=20, b in 12u64..=20) {
+/// Single-ported (and duplicate) access time is monotone non-decreasing
+/// in capacity; the banked curve never undercuts it (its small-cache
+/// wiring penalty makes it legitimately non-monotone below 16 KB).
+#[test]
+fn access_time_monotone() {
+    check_default("access_time_monotone", |g| {
+        let a = g.u64_in(12, 20);
+        let b = g.u64_in(12, 20);
         let model = AccessTimeModel::default();
         let (small, large) = if a <= b { (a, b) } else { (b, a) };
         for ports in [PortStructure::SinglePorted, PortStructure::Duplicate] {
             let t_small = model.access_time(CacheSize::from_bytes(1 << small), ports).unwrap();
             let t_large = model.access_time(CacheSize::from_bytes(1 << large), ports).unwrap();
-            prop_assert!(t_large >= t_small);
+            assert!(t_large >= t_small);
         }
         let single = model
             .access_time(CacheSize::from_bytes(1 << large), PortStructure::SinglePorted)
             .unwrap();
-        let banked = model
-            .access_time(CacheSize::from_bytes(1 << large), PortStructure::Banked8)
-            .unwrap();
-        prop_assert!(banked >= single);
-    }
+        let banked =
+            model.access_time(CacheSize::from_bytes(1 << large), PortStructure::Banked8).unwrap();
+        assert!(banked >= single);
+    });
+}
 
-    /// A cache that fits depth `d` also fits depth `d + 1` (the fit rule is
-    /// monotone in pipeline depth for cycle times above the latch overhead).
-    #[test]
-    fn pipeline_fit_monotone_in_depth(access in 20.0f64..60.0, cycle in 5.0f64..31.0, depth in 1u32..3) {
+/// A cache that fits depth `d` also fits depth `d + 1` (the fit rule is
+/// monotone in pipeline depth for cycle times above the latch overhead).
+#[test]
+fn pipeline_fit_monotone_in_depth() {
+    check_default("pipeline_fit_monotone_in_depth", |g| {
         let tech = Technology::default();
-        prop_assume!(cycle > tech.latch_overhead().get());
+        let access = g.f64_in(20.0, 60.0);
+        let cycle = g.f64_in(tech.latch_overhead().get() + 0.1, 31.0);
+        let depth = g.u32_in(1, 2);
         if pipeline::fits(Fo4::new(access), Fo4::new(cycle), &tech, depth) {
-            prop_assert!(pipeline::fits(Fo4::new(access), Fo4::new(cycle), &tech, depth + 1));
+            assert!(pipeline::fits(Fo4::new(access), Fo4::new(cycle), &tech, depth + 1));
         }
-    }
+    });
+}
 
-    /// LRU caches never hold more lines than their capacity, and a line
-    /// just touched is always present.
-    #[test]
-    fn cache_array_invariants(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// LRU caches never hold more lines than their capacity, and a line
+/// just touched is always present.
+#[test]
+fn cache_array_invariants() {
+    check_default("cache_array_invariants", |g| {
+        let addrs = g.vec(1, 200, |g| g.u64_below(1_000_000));
         let mut cache = CacheArray::new(4 << 10, 2, 32);
         for &a in &addrs {
             cache.touch(a);
-            prop_assert!(cache.probe(a), "line just touched must be present");
-            prop_assert!(cache.occupancy() <= 128);
+            assert!(cache.probe(a), "line just touched must be present");
+            assert!(cache.occupancy() <= 128);
         }
-    }
+    });
+}
 
-    /// The line buffer obeys its capacity and only ever reports hits for
-    /// lines that were filled and not evicted.
-    #[test]
-    fn line_buffer_capacity(addrs in prop::collection::vec(0u64..10_000, 1..300)) {
+/// The line buffer obeys its capacity and only ever reports hits for
+/// lines that were filled and not evicted.
+#[test]
+fn line_buffer_capacity() {
+    check_default("line_buffer_capacity", |g| {
+        let addrs = g.vec(1, 300, |g| g.u64_below(10_000));
         let mut lb = LineBuffer::new(8, 32);
         let mut fills = 0u64;
         for &a in &addrs {
@@ -64,30 +79,36 @@ proptest! {
                 fills += 1;
             }
         }
-        prop_assert!(lb.hits() + fills == lb.lookups());
-        prop_assert!(lb.probe(*addrs.last().unwrap()), "most recent fill survives");
-    }
+        assert!(lb.hits() + fills == lb.lookups());
+        assert!(lb.probe(*addrs.last().unwrap()), "most recent fill survives");
+    });
+}
 
-    /// Workload streams always produce legal instructions: sequential ids,
-    /// addresses only on memory ops, producers strictly older.
-    #[test]
-    fn workload_streams_are_well_formed(seed in 0u64..1000, pick in 0usize..9) {
-        let bench = Benchmark::ALL[pick];
+/// Workload streams always produce legal instructions: sequential ids,
+/// addresses only on memory ops, producers strictly older.
+#[test]
+fn workload_streams_are_well_formed() {
+    check_default("workload_streams_are_well_formed", |g| {
+        let bench = *g.pick(&Benchmark::ALL);
+        let seed = g.u64_below(1000);
         let gen = WorkloadGen::new(bench, seed);
         for (i, inst) in gen.take(300).enumerate() {
-            prop_assert_eq!(inst.id().get(), i as u64);
-            prop_assert_eq!(inst.addr().is_some(), inst.is_mem());
+            assert_eq!(inst.id().get(), i as u64);
+            assert_eq!(inst.addr().is_some(), inst.is_mem());
             for src in inst.srcs().iter().flatten() {
-                prop_assert!(*src < inst.id());
+                assert!(*src < inst.id());
             }
         }
-    }
+    });
+}
 
-    /// The memory system accepts any mix of loads and stores without
-    /// violating its own bookkeeping (serviced loads add up; pending stores
-    /// bounded by the buffer).
-    #[test]
-    fn mem_system_bookkeeping(ops in prop::collection::vec((any::<bool>(), 0u64..100_000), 1..300)) {
+/// The memory system accepts any mix of loads and stores without
+/// violating its own bookkeeping (serviced loads add up; pending stores
+/// bounded by the buffer).
+#[test]
+fn mem_system_bookkeeping() {
+    check_default("mem_system_bookkeeping", |g| {
+        let ops = g.vec(1, 300, |g| (g.bool(), g.u64_below(100_000)));
         let cfg = MemConfig::paper_sram(8 << 10, 2, PortModel::Banked(8)).with_line_buffer();
         let mut mem = MemSystem::new(cfg).unwrap();
         let mut accepted_loads = 0u64;
@@ -101,22 +122,25 @@ proptest! {
                 let _ = mem.commit_store(*addr & !7);
             }
             mem.end_cycle();
-            prop_assert!(mem.pending_stores() <= 16);
-            prop_assert!(mem.misses_in_flight() <= 4);
+            assert!(mem.pending_stores() <= 16);
+            assert!(mem.misses_in_flight() <= 4);
         }
-        prop_assert_eq!(mem.stats().loads_serviced(), accepted_loads);
-    }
+        assert_eq!(mem.stats().loads_serviced(), accepted_loads);
+    });
+}
 
-    /// Instruction construction is closed under the builder API.
-    #[test]
-    fn dyninst_builder_is_consistent(id in 1u64..1_000, dist in 1u64..50) {
-        let inst = DynInst::new(InstId::new(id), OpClass::Load, ExecMode::User)
-            .with_addr(dist * 8);
+/// Instruction construction is closed under the builder API.
+#[test]
+fn dyninst_builder_is_consistent() {
+    check_default("dyninst_builder_is_consistent", |g| {
+        let id = g.u64_in(1, 999);
+        let dist = g.u64_in(1, 49);
+        let inst = DynInst::new(InstId::new(id), OpClass::Load, ExecMode::User).with_addr(dist * 8);
         let inst = match InstId::new(id).back(dist) {
             Some(src) => inst.with_src(src),
             None => inst,
         };
-        prop_assert!(inst.is_mem());
-        prop_assert_eq!(inst.addr(), Some(dist * 8));
-    }
+        assert!(inst.is_mem());
+        assert_eq!(inst.addr(), Some(dist * 8));
+    });
 }
