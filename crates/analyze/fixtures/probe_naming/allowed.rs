@@ -1,0 +1,9 @@
+// Fixture: hierarchical dotted lowercase names, each registered once.
+
+pub fn export(reg: &mut hbc_probe::ProbeRegistry, n: u64) {
+    reg.counter("mem.l1.load_hits").set(n);
+    reg.counter("mem.l1.load_misses").set(n);
+    reg.histogram("cpu.issue.width_used").record(n);
+    // Migration shims may keep a legacy flat name under an audited allow.
+    reg.counter("legacy_hits").set(n); // hbc-allow: probe-naming (pre-registry shim)
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed and colliding probe names must fire.
+
+pub fn export(reg: &mut hbc_probe::ProbeRegistry, n: u64) {
+    reg.counter("CamelCase.name").set(n); // uppercase segment
+    reg.counter("cycles").set(n); // single segment, no hierarchy
+    reg.counter("cpu..cycles").set(n); // empty segment
+    reg.histogram("cpu.load latency"); // space in segment
+    reg.counter("mem.lb.hits").set(n);
+    reg.counter("mem.lb.hits").set(n); // duplicate registration
+}

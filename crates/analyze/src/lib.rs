@@ -2,7 +2,7 @@
 //!
 //! The simulator's core contract — every simulation is a pure function of
 //! (configuration, seed) — is not something the compiler checks. This crate
-//! does, with four rules over the workspace source:
+//! does, with five rules over the workspace source:
 //!
 //! * [`rules::determinism`] — no nondeterministically ordered collections,
 //!   wall clocks, or ambient RNGs in simulation-state crates;
@@ -12,7 +12,10 @@
 //!   and the crate actually calls validation somewhere;
 //! * [`rules::panic_path`] — `unwrap`/`expect`/`panic!` in non-test
 //!   simulator code is gated against a checked-in baseline that may only
-//!   shrink.
+//!   shrink;
+//! * [`rules::probe_naming`] — literal probe names registered on the
+//!   `hbc-probe` registry are hierarchical dotted lowercase and globally
+//!   unique.
 //!
 //! Audited exceptions are written in the source as `// hbc-allow: <rule>`
 //! (same line or the line above) or `// hbc-allow-file: <rule>` for a whole
@@ -36,7 +39,7 @@ use std::path::PathBuf;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// The rule that fired (`determinism`, `units`, `config-validate`,
-    /// `panic`).
+    /// `panic`, `probe-naming`).
     pub rule: &'static str,
     /// File the violation is in.
     pub path: PathBuf,
@@ -56,7 +59,7 @@ impl fmt::Display for Finding {
 /// rules. `hbc-bench` (reporting, wall-clock benchmarks), `hbc-ptest`
 /// (test harness), and this crate are deliberately outside the contract.
 pub const SIM_CRATES: &[&str] =
-    &["hbc-timing", "hbc-isa", "hbc-workloads", "hbc-mem", "hbc-cpu", "hbc-core"];
+    &["hbc-timing", "hbc-isa", "hbc-workloads", "hbc-mem", "hbc-cpu", "hbc-core", "hbc-probe"];
 
 /// Runs every rule over `files`; findings are sorted by path and line.
 pub fn run_all(
@@ -68,6 +71,7 @@ pub fn run_all(
     findings.extend(rules::units::check(files));
     findings.extend(rules::config_validate::check(files));
     findings.extend(rules::panic_path::check(files, baseline));
+    findings.extend(rules::probe_naming::check(files));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     findings
 }

@@ -1,6 +1,7 @@
-//! The four analysis rules.
+//! The five analysis rules.
 
 pub mod config_validate;
 pub mod determinism;
 pub mod panic_path;
+pub mod probe_naming;
 pub mod units;

@@ -1,0 +1,154 @@
+//! Rule `probe-naming`: probe names registered on a `ProbeRegistry` are
+//! hierarchical dotted lowercase identifiers, and each name is registered
+//! from exactly one source site.
+//!
+//! The probe registry is a flat namespace shared by every crate; a typo'd
+//! or colliding name silently splits (or merges) a statistic instead of
+//! failing. This rule scans non-test `counter("…")` / `histogram("…")`
+//! call sites for literal names matching
+//! `^[a-z0-9_]+(\.[a-z0-9_]+)+$` and reports duplicates across the whole
+//! workspace. Names built at runtime (e.g. `StallCause::probe_name`) are
+//! outside the scanner's reach and are covered by `hbc-probe`'s own
+//! validation assert instead.
+
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Mirrors `hbc_probe::is_valid_probe_name` (kept dependency-free here):
+/// two or more non-empty `[a-z0-9_]+` segments separated by dots.
+fn valid(name: &str) -> bool {
+    let mut segments = 0;
+    for segment in name.split('.') {
+        if segment.is_empty()
+            || !segment.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// Extracts the string literals opened by `marker` (e.g. `counter("`) in a
+/// raw source line.
+fn literals<'a>(mut rest: &'a str, marker: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    while let Some(pos) = rest.find(marker) {
+        rest = &rest[pos + marker.len()..];
+        let Some(end) = rest.find('"') else { break };
+        out.push(&rest[..end]);
+        rest = &rest[end + 1..];
+    }
+    out
+}
+
+/// Runs the rule over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen: BTreeMap<String, (PathBuf, usize)> = BTreeMap::new();
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "probe-naming") {
+                continue;
+            }
+            for marker in ["counter(\"", "histogram(\""] {
+                // The stripped code keeps the delimiters (`counter("")`),
+                // so matching it first means comments never fire; the name
+                // itself comes from the raw line.
+                if !line.code.contains(marker) {
+                    continue;
+                }
+                for name in literals(&line.raw, marker) {
+                    if !valid(name) {
+                        findings.push(Finding {
+                            rule: "probe-naming",
+                            path: file.path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "probe name {name:?} is not hierarchical dotted lowercase \
+                                 (`segment.segment…`, segments `[a-z0-9_]+`)"
+                            ),
+                        });
+                    } else if let Some((first_path, first_line)) =
+                        seen.insert(name.to_string(), (file.path.clone(), lineno))
+                    {
+                        findings.push(Finding {
+                            rule: "probe-naming",
+                            path: file.path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "probe name {name:?} already registered at {}:{first_line}",
+                                first_path.display()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)])
+    }
+
+    #[test]
+    fn name_pattern() {
+        assert!(valid("cpu.run.cycles"));
+        assert!(valid("mem.l1.load_hits"));
+        assert!(!valid("cycles")); // needs at least two segments
+        assert!(!valid("cpu..cycles"));
+        assert!(!valid("Cpu.cycles"));
+        assert!(!valid("cpu.cycles "));
+        assert!(!valid(""));
+    }
+
+    #[test]
+    fn good_names_pass() {
+        assert!(run(
+            "reg.counter(\"cpu.run.cycles\").set(1);\nreg.histogram(\"cpu.issue.width_used\");\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bad_name_fires() {
+        let f = run("reg.counter(\"Cycles\").inc();\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("hierarchical"));
+    }
+
+    #[test]
+    fn duplicate_registration_fires() {
+        let f = run("reg.counter(\"mem.lb.hits\");\nreg.counter(\"mem.lb.hits\");\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("already registered"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn comments_tests_and_allows_do_not_fire() {
+        assert!(run("// reg.counter(\"BAD\")\n").is_empty());
+        assert!(run("#[cfg(test)]\nmod t {\n fn f() { reg.counter(\"BAD\"); }\n}\n").is_empty());
+        assert!(run("reg.counter(\"x\"); // hbc-allow: probe-naming (migration shim)\n").is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/probe_naming");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run(&bad).is_empty());
+        assert!(run(&ok).is_empty());
+    }
+}

@@ -10,6 +10,10 @@ pub struct Line {
     /// Token scans run against this, so `"HashMap"` inside a string or a
     /// doc comment never fires a rule.
     pub code: String,
+    /// The original, unstripped source text — for rules that must read
+    /// string-literal contents (e.g. `probe-naming`). Gate matches on
+    /// `code` first so comments still never fire.
+    pub raw: String,
     /// Rules allowed on this line via `// hbc-allow: <rules>` (on the line
     /// itself or alone on the line above).
     pub allows: Vec<String>,
@@ -37,12 +41,13 @@ impl SourceFile {
     /// test code (used for `tests/` and `benches/` trees).
     pub fn parse(path: PathBuf, crate_name: &str, text: &str, all_test: bool) -> Self {
         let stripped = strip(text);
+        let raws: Vec<&str> = text.lines().collect();
         let mut file_allows = Vec::new();
         let mut lines: Vec<Line> = Vec::with_capacity(stripped.len());
         // Allow annotations: an annotation sharing a line with code guards
         // that line; an annotation alone on a line guards the next line.
         let mut pending: Vec<String> = Vec::new();
-        for (code, comment) in stripped {
+        for (idx, (code, comment)) in stripped.into_iter().enumerate() {
             let mut allows = std::mem::take(&mut pending);
             allows.extend(parse_allow(&comment, "hbc-allow:"));
             file_allows.extend(parse_allow(&comment, "hbc-allow-file:"));
@@ -50,7 +55,8 @@ impl SourceFile {
                 pending = allows;
                 allows = Vec::new();
             }
-            lines.push(Line { code, allows, is_test: all_test });
+            let raw = raws.get(idx).copied().unwrap_or("").to_string();
+            lines.push(Line { code, raw, allows, is_test: all_test });
         }
         if !all_test {
             mark_test_blocks(&mut lines);
@@ -215,12 +221,13 @@ fn skip_char_literal(chars: &[char], at: usize, code: &mut String) -> usize {
     }
 }
 
-/// Marks lines covered by `#[cfg(test)]` items as test code by counting
+/// Marks lines covered by `#[cfg(test)]` items (including conjunctive
+/// forms like `#[cfg(all(test, feature = "…"))]`) as test code by counting
 /// braces from the attribute to the end of the item it introduces.
 fn mark_test_blocks(lines: &mut [Line]) {
     let mut i = 0;
     while i < lines.len() {
-        if !lines[i].code.contains("#[cfg(test)]") {
+        if !lines[i].code.contains("#[cfg(test)]") && !lines[i].code.contains("#[cfg(all(test") {
             i += 1;
             continue;
         }
@@ -321,6 +328,22 @@ mod tests {
         assert!(f.lines[1].is_test);
         assert!(f.lines[3].is_test);
         assert!(!f.lines[5].is_test);
+    }
+
+    #[test]
+    fn cfg_all_test_blocks_are_marked() {
+        let text = "#[cfg(all(test, feature = \"probe\"))]\nmod probe_tests {\n    fn t() { x.unwrap(); }\n}\nfn live() {}\n";
+        let f = parse(text);
+        assert!(f.lines[0].is_test);
+        assert!(f.lines[2].is_test);
+        assert!(!f.lines[4].is_test);
+    }
+
+    #[test]
+    fn raw_lines_are_retained() {
+        let f = parse("let n = reg.counter(\"cpu.run.cycles\");\n");
+        assert!(!f.lines[0].code.contains("cpu.run.cycles"));
+        assert!(f.lines[0].raw.contains("cpu.run.cycles"));
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Host-side simulator throughput: how many simulated instructions (or
+//! events) each layer of the stack processes per host second. Wall-clock
+//! only — these numbers never feed back into simulation results; they
+//! exist to catch regressions in simulator speed, the cost the `probe`
+//! feature must not add to release figure runs.
+//!
+//! ```text
+//! cargo bench -p hbc-bench --bench throughput
+//! cargo bench -p hbc-bench --bench throughput --features probe
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hbc_core::{Benchmark, SimBuilder};
+use hbc_mem::{MemConfig, MemSystem, PortModel};
+use hbc_workloads::WorkloadGen;
+
+/// Times `f`, which processes `units` simulated units per call, and prints
+/// the best rate over a few repeats.
+fn rate(name: &str, units: u64, repeats: u32, mut f: impl FnMut()) {
+    black_box(()); // keep the import obvious for future bodies
+    let mut best = 0.0f64;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        best = best.max(units as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    println!("{:<44} {:>12.2} M units/s", name, best / 1e6);
+}
+
+fn main() {
+    println!("## throughput (probe feature: {})", cfg!(feature = "probe"));
+
+    let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
+    rate("workload_gen_gcc (inst/s)", 1_000_000, 5, || {
+        for _ in 0..1_000_000 {
+            black_box(gen.next_inst());
+        }
+    });
+
+    let cfg = MemConfig::paper_sram(32 << 10, 2, PortModel::Banked(8)).with_line_buffer();
+    let mut mem = MemSystem::new(cfg).unwrap();
+    let mut now = 0u64;
+    rate("mem_system_banked8_lb (load-cycles/s)", 1_000_000, 5, || {
+        for _ in 0..1_000_000 {
+            now += 1;
+            mem.begin_cycle(now);
+            black_box(mem.try_load((now.wrapping_mul(72)) & 0x7FFF));
+            mem.end_cycle();
+        }
+    });
+
+    const CORE_INSTS: u64 = 60_000;
+    for (name, probes) in [
+        ("full_core_duplicate_lb (inst/s)", false),
+        ("full_core_duplicate_lb+probes (inst/s)", true),
+    ] {
+        rate(name, CORE_INSTS, 3, || {
+            let r = SimBuilder::new(Benchmark::Gcc)
+                .cache_size_kib(32)
+                .hit_cycles(2)
+                .ports(PortModel::Duplicate)
+                .line_buffer(true)
+                .instructions(CORE_INSTS)
+                .warmup(0)
+                .cache_warm(100_000)
+                .probes(probes)
+                .run();
+            black_box(r.ipc());
+        });
+    }
+}

@@ -77,4 +77,13 @@ fn main() {
         fs::write(format!("results/{name}.csv"), table.to_csv()).expect("write csv file");
         eprintln!("[{name}] done in {:.1?}", t0.elapsed());
     }
+    hbc_bench::emit_probes(
+        &params,
+        &[("32K duplicate + LB, 2~", &|s| {
+            s.cache_size_kib(32)
+                .hit_cycles(2)
+                .ports(hbc_mem::PortModel::Duplicate)
+                .line_buffer(true)
+        })],
+    );
 }

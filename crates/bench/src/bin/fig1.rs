@@ -1,5 +1,9 @@
 //! Regenerates the paper's Figure 1 (no simulation required).
 
 fn main() {
+    let params = hbc_bench::params_from_args();
     println!("{}", hbc_core::experiments::fig1::run());
+    // Figure 1 is analytic (SRAM access times), so the probe report runs
+    // the paper's baseline simulated configuration instead.
+    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
 }

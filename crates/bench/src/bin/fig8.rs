@@ -1,6 +1,14 @@
 //! Regenerates the paper's Figure 8.
 
+use hbc_mem::PortModel;
+
 fn main() {
     let params = hbc_bench::params_from_args();
     println!("{}", hbc_core::experiments::fig8::run(&params));
+    hbc_bench::emit_probes(
+        &params,
+        &[("64K duplicate + LB, 2~", &|s| {
+            s.cache_size_kib(64).hit_cycles(2).ports(PortModel::Duplicate).line_buffer(true)
+        })],
+    );
 }

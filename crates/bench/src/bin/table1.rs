@@ -1,5 +1,9 @@
 //! Regenerates the paper's Table 1.
 
 fn main() {
+    let params = hbc_bench::params_from_args();
     println!("{}", hbc_core::experiments::table1::run());
+    // Table 1 is descriptive (the benchmark roster), so the probe report
+    // runs the paper's baseline simulated configuration instead.
+    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
 }

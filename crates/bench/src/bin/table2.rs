@@ -3,4 +3,5 @@
 fn main() {
     let params = hbc_bench::params_from_args();
     println!("{}", hbc_core::experiments::table2::run(&params));
+    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
 }

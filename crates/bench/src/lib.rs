@@ -6,11 +6,16 @@
 //! * `--full` — 200 K-instruction windows, all nine benchmarks;
 //! * `--reps` — restrict any preset to the three representatives;
 //! * `--seed N` — workload seed;
+//! * `--probes` — print a stall-cause breakdown and probe-registry table
+//!   next to the figure (full per-cycle data needs the `probe` feature);
+//! * `--trace-window N` — retain and dump the last N pipeline/cache events
+//!   of each probe run as JSON lines;
 //! * (default) — 60 K-instruction windows, all nine benchmarks.
 
 #![warn(missing_docs)]
 
-use hbc_core::ExpParams;
+use hbc_core::report::{probe_table, stall_table};
+use hbc_core::{ExpParams, SimBuilder};
 
 pub mod timer;
 
@@ -42,6 +47,12 @@ pub fn params_from(args: impl IntoIterator<Item = String>) -> ExpParams {
                 let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
                 params.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
             }
+            "--probes" => params.probes = true,
+            "--trace-window" => {
+                let v = args.next().unwrap_or_else(|| usage("--trace-window needs a value"));
+                params.trace_window =
+                    v.parse().unwrap_or_else(|_| usage("--trace-window needs an integer"));
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -50,8 +61,54 @@ pub fn params_from(args: impl IntoIterator<Item = String>) -> ExpParams {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--fast|--full] [--reps] [--seed N]");
+    eprintln!("usage: <bin> [--fast|--full] [--reps] [--seed N] [--probes] [--trace-window N]");
     std::process::exit(2);
+}
+
+/// Emits the `--probes` / `--trace-window` report for a figure binary: one
+/// probe-enabled run per benchmark × named configuration, printing the
+/// stall-cause breakdown, the full probe registry, and (when a trace window
+/// was requested) the retained pipeline events as JSON lines.
+///
+/// Does nothing unless the user passed `--probes` or `--trace-window`, so
+/// figure binaries call it unconditionally after printing their table. When
+/// the harness is built without the `probe` feature the event counters are
+/// still exact but the per-cycle stall attribution and trace are empty; a
+/// note says so.
+///
+/// # Example
+///
+/// ```
+/// let params = hbc_bench::params_from(Vec::<String>::new());
+/// // No --probes flag: returns immediately without simulating.
+/// hbc_bench::emit_probes(&params, &[("base", &|s| s)]);
+/// ```
+pub fn emit_probes(params: &ExpParams, configs: &[(&str, &dyn Fn(SimBuilder) -> SimBuilder)]) {
+    if !params.probes && params.trace_window == 0 {
+        return;
+    }
+    if !cfg!(feature = "probe") {
+        eprintln!(
+            "note: built without the `probe` feature; stall attribution and traces are \
+             empty (rebuild with `--features probe` for per-cycle data)"
+        );
+    }
+    for &b in &params.benchmarks {
+        for (label, configure) in configs {
+            let result = configure(params.sim(b).probes(true)).run();
+            println!("== probes: {} / {label} (ipc {:.3}) ==", b.name(), result.ipc());
+            if params.probes {
+                let reg = result.probes().expect("probes were enabled");
+                println!("{}", stall_table(&result.run().stall));
+                println!("{}", probe_table(reg));
+            }
+            if params.trace_window > 0 {
+                let trace = result.trace_jsonl().unwrap_or("");
+                println!("-- trace: last {} events --", trace.lines().count());
+                print!("{trace}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -75,5 +132,15 @@ mod tests {
     fn seed_parses() {
         let p = params_from(["--seed", "7"].map(String::from));
         assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn probe_flags_parse() {
+        let p = params_from(["--probes", "--trace-window", "256"].map(String::from));
+        assert!(p.probes);
+        assert_eq!(p.trace_window, 256);
+        let p = params_from(Vec::<String>::new());
+        assert!(!p.probes);
+        assert_eq!(p.trace_window, 0);
     }
 }

@@ -44,6 +44,11 @@ pub struct ExpParams {
     pub seed: u64,
     /// Benchmarks to simulate.
     pub benchmarks: Vec<Benchmark>,
+    /// Print a probe-registry breakdown next to each figure (`--probes`).
+    pub probes: bool,
+    /// Retain the last N pipeline/cache events per run (`--trace-window`);
+    /// zero disables tracing.
+    pub trace_window: u64,
 }
 
 impl ExpParams {
@@ -55,6 +60,8 @@ impl ExpParams {
             cache_warm: 2_000_000,
             seed: 42,
             benchmarks: Benchmark::ALL.to_vec(),
+            probes: false,
+            trace_window: 0,
         }
     }
 
@@ -70,8 +77,8 @@ impl ExpParams {
             instructions: 15_000,
             warmup: 3_000,
             cache_warm: 400_000,
-            seed: 42,
             benchmarks: Benchmark::REPRESENTATIVES.to_vec(),
+            ..ExpParams::full()
         }
     }
 
@@ -88,6 +95,8 @@ impl ExpParams {
             .warmup(self.warmup)
             .cache_warm(self.cache_warm)
             .seed(self.seed)
+            .probes(self.probes)
+            .trace_window(self.trace_window)
     }
 }
 

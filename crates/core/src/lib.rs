@@ -33,6 +33,7 @@ pub mod report;
 mod sim;
 
 pub use experiments::ExpParams;
+pub use hbc_probe::{ProbeExport, ProbeRegistry, StallBreakdown, StallCause};
 pub use hbc_workloads::Benchmark;
 pub use misses::{miss_curve, misses_per_instruction};
 pub use sim::{SimBuilder, SimResult, DEFAULT_CACHE_WARM, DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP};

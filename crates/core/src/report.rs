@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use hbc_probe::{ProbeRegistry, StallBreakdown};
+
 /// A simple aligned text table, the output format of every experiment
 /// driver.
 ///
@@ -97,6 +99,47 @@ impl fmt::Display for Table {
     }
 }
 
+/// Renders a [`ProbeRegistry`] snapshot as a two-column table: every
+/// counter by name, then every histogram summarized as
+/// `count/mean/min..max`.
+///
+/// # Example
+///
+/// ```
+/// use hbc_core::report::probe_table;
+/// use hbc_probe::ProbeRegistry;
+///
+/// let mut reg = ProbeRegistry::new();
+/// reg.counter("mem.lb.hits").add(9);
+/// let t = probe_table(&reg);
+/// assert!(t.to_string().contains("mem.lb.hits"));
+/// ```
+pub fn probe_table(reg: &ProbeRegistry) -> Table {
+    let mut t = Table::new("probes", &["probe", "value"]);
+    for (name, c) in reg.counters() {
+        t.push(vec![name.to_string(), c.get().to_string()]);
+    }
+    for (name, h) in reg.histograms() {
+        t.push(vec![
+            name.to_string(),
+            format!("n={} mean={} range={}..{}", h.count(), fmt_f(h.mean(), 2), h.min(), h.max()),
+        ]);
+    }
+    t
+}
+
+/// Renders a [`StallBreakdown`] as a cause/cycles/share table, with a
+/// trailing total row. Shares are fractions of the charged cycles, so they
+/// sum to 100% whenever the attribution ran.
+pub fn stall_table(stall: &StallBreakdown) -> Table {
+    let mut t = Table::new("stall breakdown", &["cause", "cycles", "share"]);
+    for (cause, cycles) in stall.iter() {
+        t.push(vec![cause.label().to_string(), cycles.to_string(), fmt_pct(stall.fraction(cause))]);
+    }
+    t.push(vec!["total".to_string(), stall.total().to_string(), fmt_pct(1.0)]);
+    t
+}
+
 /// Formats a float with `prec` decimals (experiment cell helper).
 pub fn fmt_f(x: f64, prec: usize) -> String {
     format!("{x:.prec$}")
@@ -142,5 +185,31 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn probe_table_lists_counters_and_histograms() {
+        let mut reg = ProbeRegistry::new();
+        reg.counter("cpu.run.cycles").set(100);
+        reg.histogram("cpu.issue.width_used").record_n(4, 10);
+        let t = probe_table(&reg);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("cpu.run.cycles") && s.contains("100"));
+        assert!(s.contains("n=10 mean=4.00 range=4..4"));
+    }
+
+    #[test]
+    fn stall_table_sums_to_total() {
+        use hbc_probe::StallCause;
+        let mut b = StallBreakdown::default();
+        b.charge(StallCause::Commit);
+        b.charge(StallCause::Commit);
+        b.charge(StallCause::DramBusy);
+        let t = stall_table(&b);
+        assert_eq!(t.len(), StallCause::COUNT + 1, "one row per cause plus the total");
+        let total = t.rows().last().unwrap();
+        assert_eq!(total[0], "total");
+        assert_eq!(total[1], "3");
     }
 }

@@ -2,6 +2,7 @@
 
 use hbc_cpu::{Core, CpuConfig, RunStats};
 use hbc_mem::{MemConfig, MemStats, MemSystem, PortModel};
+use hbc_probe::{ProbeExport, ProbeRegistry};
 use hbc_workloads::{Benchmark, BenchmarkSpec, WorkloadGen};
 
 /// Default instructions simulated per configuration.
@@ -48,6 +49,8 @@ pub struct SimBuilder {
     cache_warm: u64,
     seed: u64,
     cpu: CpuConfig,
+    probes: bool,
+    trace_window: u64,
 }
 
 impl SimBuilder {
@@ -70,6 +73,8 @@ impl SimBuilder {
             cache_warm: DEFAULT_CACHE_WARM,
             seed: 42,
             cpu: CpuConfig::paper(),
+            probes: false,
+            trace_window: 0,
         }
     }
 
@@ -153,6 +158,23 @@ impl SimBuilder {
         self
     }
 
+    /// Exports a [`ProbeRegistry`] snapshot with the result (`--probes`).
+    /// The registry is built after the run, so enabling it never perturbs
+    /// the simulation; the per-cycle stall and issue-width probes carry
+    /// data only when the `probe` feature is compiled in.
+    pub fn probes(mut self, enabled: bool) -> Self {
+        self.probes = enabled;
+        self
+    }
+
+    /// Retains the last `events` pipeline/cache events as a JSONL trace
+    /// (`--trace-window N`; zero disables). Events are recorded only in
+    /// `probe` builds.
+    pub fn trace_window(mut self, events: u64) -> Self {
+        self.trace_window = events;
+        self
+    }
+
     /// The memory configuration this builder will run.
     pub fn mem_config(&self) -> MemConfig {
         let mut cfg = match self.dram_hit {
@@ -191,11 +213,21 @@ impl SimBuilder {
             }
         }
         let mut core = Core::new(self.cpu.clone(), mem, gen).expect("valid CPU configuration");
+        if self.trace_window > 0 {
+            core.enable_trace(self.trace_window as usize);
+        }
         if self.warmup > 0 {
             core.run(self.warmup);
         }
         let run = core.run(self.instructions);
-        SimResult { benchmark: self.benchmark, run, mem: core.mem().stats().clone() }
+        let probes = self.probes.then(|| {
+            let mut reg = ProbeRegistry::new();
+            run.export_probes(&mut reg);
+            core.mem().export_probes(&mut reg);
+            reg
+        });
+        let trace = core.trace_jsonl();
+        SimResult { benchmark: self.benchmark, run, mem: core.mem().stats().clone(), probes, trace }
     }
 }
 
@@ -205,6 +237,8 @@ pub struct SimResult {
     benchmark: Benchmark,
     run: RunStats,
     mem: MemStats,
+    probes: Option<ProbeRegistry>,
+    trace: Option<String>,
 }
 
 impl SimResult {
@@ -226,6 +260,18 @@ impl SimResult {
     /// Memory statistics (cumulative, including warm-up).
     pub fn mem(&self) -> &MemStats {
         &self.mem
+    }
+
+    /// The probe registry snapshot, when requested via
+    /// [`SimBuilder::probes`].
+    pub fn probes(&self) -> Option<&ProbeRegistry> {
+        self.probes.as_ref()
+    }
+
+    /// The retained cycle trace as JSON lines, when requested via
+    /// [`SimBuilder::trace_window`].
+    pub fn trace_jsonl(&self) -> Option<&str> {
+        self.trace.as_deref()
     }
 
     /// Primary-cache load misses per measured instruction.
@@ -271,6 +317,26 @@ mod tests {
     fn dram_builder_selects_row_cache() {
         let r = quick(Benchmark::Gcc).dram_cache(6).line_buffer(true).run();
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn probes_do_not_perturb_results() {
+        let base = quick(Benchmark::Li).run();
+        let probed = quick(Benchmark::Li).probes(true).trace_window(128).run();
+        assert_eq!(base.ipc(), probed.ipc(), "observability must not change the simulation");
+        assert_eq!(base.mem(), probed.mem());
+        assert!(base.probes().is_none());
+        let reg = probed.probes().expect("registry requested");
+        assert_eq!(reg.get("cpu.retire.instructions"), Some(probed.run().instructions));
+        assert_eq!(reg.get("mem.l1.load_misses"), Some(probed.mem().l1_load_misses));
+        // Shim equivalence: the legacy getters and the registry read the
+        // same underlying fields.
+        assert_eq!(reg.get("mem.lb.hits"), Some(probed.mem().lb_hits));
+        #[cfg(feature = "probe")]
+        {
+            assert_eq!(reg.get("cpu.stall.commit").map(|c| c > 0), Some(true));
+            assert!(probed.trace_jsonl().is_some_and(|t| !t.is_empty()));
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use std::collections::VecDeque;
 
 use hbc_isa::{DynInst, InstId};
-use hbc_mem::{LoadResponse, MemSystem};
+use hbc_mem::{LoadResponse, MemSystem, RejectReason};
+use hbc_probe::{saturating_count, Tracer};
+#[cfg(feature = "probe")]
+use hbc_probe::{StallCause, TraceEvent};
 
 use crate::config::{CpuConfig, CpuConfigError};
 use crate::stats::RunStats;
@@ -24,6 +27,11 @@ enum Stage {
     MemPending {
         /// Cycle the data returns.
         done: u64,
+        /// Whether the access left the primary cache (miss) — the stall
+        /// attributor charges such waits to the levels below. Only read in
+        /// `probe` builds.
+        #[cfg_attr(not(feature = "probe"), allow(dead_code))]
+        miss: bool,
     },
     /// Finished; eligible to retire in order.
     Done {
@@ -80,6 +88,9 @@ pub struct Core<I> {
     /// Cycle useful fetch resumes after a resolved misprediction.
     fetch_resume_at: u64,
     retired_total: u64,
+    /// Ring-buffer cycle tracer, when a trace window was requested.
+    /// Events are recorded only in `probe` builds.
+    tracer: Option<Tracer>,
 }
 
 impl<I: Iterator<Item = DynInst>> Core<I> {
@@ -105,7 +116,30 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             waiting_branch: None,
             fetch_resume_at: 0,
             retired_total: 0,
+            tracer: None,
         })
+    }
+
+    /// Enables the cycle tracer, retaining the last `capacity` pipeline and
+    /// cache events. Events are recorded only when the `probe` feature is
+    /// compiled in; without it the tracer stays empty so release figure
+    /// runs pay nothing.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The retained trace window as JSON lines (`None` when tracing was
+    /// never enabled).
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.tracer.as_ref().map(|t| t.to_jsonl())
+    }
+
+    /// Records `ev` when tracing is enabled (`probe` builds only).
+    #[cfg(feature = "probe")]
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.push(ev);
+        }
     }
 
     /// The memory system (for its statistics).
@@ -141,6 +175,19 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             self.step(&mut stats);
             if self.retired_total == last_retired {
                 idle_cycles += 1;
+                if idle_cycles >= 100_000 {
+                    // About to declare a deadlock: dump the trace window (if
+                    // one was kept) so the last cycles before the hang are
+                    // not lost with the panic.
+                    if let Some(t) = &self.tracer {
+                        eprintln!(
+                            "deadlock: last {} trace events before cycle {}:\n{}",
+                            t.len(),
+                            self.now,
+                            t.to_jsonl()
+                        );
+                    }
+                }
                 assert!(idle_cycles < 100_000, "pipeline deadlock at cycle {}", self.now);
             } else {
                 idle_cycles = 0;
@@ -149,6 +196,15 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         }
         stats.instructions = self.retired_total - (target - instructions);
         stats.cycles = self.now - start_cycle;
+        // Completeness: the per-cycle attribution charged every cycle of
+        // the window to exactly one cause.
+        #[cfg(all(feature = "probe", feature = "sanitize"))]
+        assert!(
+            stats.stall.total() == stats.cycles,
+            "sanitize: stall attribution covers {} of {} cycles",
+            stats.stall.total(),
+            stats.cycles
+        );
         stats
     }
 
@@ -158,13 +214,73 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         let now = self.now;
         self.mem.begin_cycle(now);
         self.update_stages(now);
-        self.issue(now);
-        self.access_memory(now);
-        self.retire(now, stats);
+        let issued = self.issue(now);
+        let reject = self.access_memory(now);
+        let (retired, store_stalled) = self.retire(now, stats);
         self.fetch(now, stats);
         self.mem.end_cycle();
+        #[cfg(feature = "probe")]
+        {
+            let w = (issued as usize).min(stats.issue_width.len() - 1);
+            saturating_count(&mut stats.issue_width[w], 1);
+            stats.stall.charge(self.classify_stall(retired, store_stalled, reject, now));
+        }
+        #[cfg(not(feature = "probe"))]
+        let _ = (issued, reject, retired, store_stalled);
         #[cfg(feature = "sanitize")]
         self.assert_invariants();
+    }
+
+    /// Charges this cycle to exactly one [`StallCause`].
+    ///
+    /// The cascade is total and exclusive, oldest-instruction-first: any
+    /// retirement is useful work (`Commit`); otherwise the window head
+    /// explains the cycle (blocked commit, a load stuck at the ports or in
+    /// the levels below the L1, execution latency); an empty or unready
+    /// window is the front end's fault (`BranchRecovery` while squelched,
+    /// `RobFull`/`LsqFull` when dispatch is blocked, `IssueEmpty` for
+    /// dependence chains and functional-unit latency).
+    ///
+    /// A head load in `MemPending` on a *hit* is still occupying the cache
+    /// pipeline, so those cycles are charged to `DcachePortConflict` — the
+    /// paper's pipelined-hit-time cost — while misses charge `DramBusy`.
+    #[cfg(feature = "probe")]
+    fn classify_stall(
+        &self,
+        retired: u64,
+        store_stalled: bool,
+        reject: Option<RejectReason>,
+        now: u64,
+    ) -> StallCause {
+        if retired > 0 {
+            return StallCause::Commit;
+        }
+        if store_stalled {
+            return StallCause::StoreBufferFull;
+        }
+        let squelched = self.waiting_branch.is_some() || now < self.fetch_resume_at;
+        let Some(head) = self.rob.front() else {
+            return if squelched { StallCause::BranchRecovery } else { StallCause::IssueEmpty };
+        };
+        match head.stage {
+            Stage::WaitingPort => match reject {
+                Some(RejectReason::MshrFull) => StallCause::MshrFull,
+                _ => StallCause::DcachePortConflict,
+            },
+            Stage::MemPending { miss: true, .. } => StallCause::DramBusy,
+            Stage::MemPending { miss: false, .. } => StallCause::DcachePortConflict,
+            _ => {
+                if self.rob.len() == self.cfg.rob_entries {
+                    StallCause::RobFull
+                } else if self.lsq_used == self.cfg.lsq_entries {
+                    StallCause::LsqFull
+                } else if squelched {
+                    StallCause::BranchRecovery
+                } else {
+                    StallCause::IssueEmpty
+                }
+            }
+        }
     }
 
     /// Sanitizer: checks window bookkeeping after every cycle. Violations
@@ -207,20 +323,28 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     /// Moves finished executions along and resolves waiting branches.
     fn update_stages(&mut self, now: u64) {
         let mut resolved: Option<(InstId, u64)> = None;
-        for slot in &mut self.rob {
-            match slot.stage {
+        for i in 0..self.rob.len() {
+            match self.rob[i].stage {
                 Stage::Executing { done } if done <= now => {
-                    slot.stage = if slot.inst.op().is_load() {
-                        Stage::WaitingPort
+                    let inst = self.rob[i].inst;
+                    if inst.op().is_load() {
+                        self.rob[i].stage = Stage::WaitingPort;
                     } else {
-                        if slot.inst.op().is_control() && slot.inst.mispredicted() {
-                            resolved = Some((slot.inst.id(), done));
+                        if inst.op().is_control() && inst.mispredicted() {
+                            resolved = Some((inst.id(), done));
                         }
-                        Stage::Done { at: done }
-                    };
+                        self.rob[i].stage = Stage::Done { at: done };
+                        #[cfg(feature = "probe")]
+                        self.trace(TraceEvent::ExecDone { cycle: now, inst: inst.id().get() });
+                    }
                 }
-                Stage::MemPending { done } if done <= now => {
-                    slot.stage = Stage::Done { at: done };
+                Stage::MemPending { done, .. } if done <= now => {
+                    self.rob[i].stage = Stage::Done { at: done };
+                    #[cfg(feature = "probe")]
+                    {
+                        let inst = self.rob[i].inst.id().get();
+                        self.trace(TraceEvent::ExecDone { cycle: now, inst });
+                    }
                 }
                 _ => {}
             }
@@ -245,7 +369,9 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         }
     }
 
-    fn issue(&mut self, now: u64) {
+    /// Issues ready instructions up to the machine width; returns how many
+    /// issued this cycle.
+    fn issue(&mut self, now: u64) -> u32 {
         let mut issued = 0;
         for i in 0..self.rob.len() {
             if issued == self.cfg.issue_width {
@@ -262,7 +388,10 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             let latency = u64::from(self.cfg.latencies.latency(inst.op()));
             self.rob[i].stage = Stage::Executing { done: now + latency };
             issued += 1;
+            #[cfg(feature = "probe")]
+            self.trace(TraceEvent::Issue { cycle: now, inst: inst.id().get() });
         }
+        issued
     }
 
     /// Presents address-ready loads to the memory system, oldest first.
@@ -271,24 +400,72 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     /// denied (port busy, bank conflict, MSHRs full), younger loads do not
     /// bypass it to the ports that cycle — the conflict replays from the
     /// oldest denied load, as in bank-conflict replay schemes.
-    fn access_memory(&mut self, now: u64) {
+    fn access_memory(&mut self, now: u64) -> Option<RejectReason> {
         for i in 0..self.rob.len() {
             if self.rob[i].stage != Stage::WaitingPort {
                 continue;
             }
             let addr = self.rob[i].inst.addr().expect("loads carry addresses");
+            #[cfg(feature = "probe")]
+            let inst = self.rob[i].inst.id().get();
             match self.mem.try_load(addr) {
-                LoadResponse::LineBufferHit { complete_at }
-                | LoadResponse::Hit { complete_at }
-                | LoadResponse::Miss { complete_at } => {
-                    self.rob[i].stage = Stage::MemPending { done: complete_at.max(now + 1) };
+                LoadResponse::LineBufferHit { complete_at } => {
+                    self.rob[i].stage =
+                        Stage::MemPending { done: complete_at.max(now + 1), miss: false };
+                    #[cfg(feature = "probe")]
+                    self.trace(TraceEvent::LineBufferHit { cycle: now, inst, addr });
                 }
-                LoadResponse::Rejected(_) => break,
+                LoadResponse::Hit { complete_at } => {
+                    self.rob[i].stage =
+                        Stage::MemPending { done: complete_at.max(now + 1), miss: false };
+                    #[cfg(feature = "probe")]
+                    {
+                        let bank = self.bank_of(addr);
+                        self.trace(TraceEvent::CacheHit { cycle: now, inst, addr, bank });
+                    }
+                }
+                LoadResponse::Miss { complete_at } => {
+                    self.rob[i].stage =
+                        Stage::MemPending { done: complete_at.max(now + 1), miss: true };
+                    #[cfg(feature = "probe")]
+                    {
+                        let bank = self.bank_of(addr);
+                        self.trace(TraceEvent::CacheMiss { cycle: now, inst, addr, bank });
+                    }
+                }
+                LoadResponse::Rejected(why) => {
+                    #[cfg(feature = "probe")]
+                    {
+                        let bank = self.bank_of(addr);
+                        let why = match why {
+                            RejectReason::PortsBusy => "ports_busy",
+                            RejectReason::BankConflict => "bank_conflict",
+                            RejectReason::MshrFull => "mshr_full",
+                        };
+                        self.trace(TraceEvent::CacheReject { cycle: now, inst, addr, bank, why });
+                    }
+                    return Some(why);
+                }
             }
+        }
+        None
+    }
+
+    /// The cache bank `addr` maps to (zero for unbanked port models).
+    #[cfg(feature = "probe")]
+    fn bank_of(&self, addr: u64) -> u32 {
+        match self.mem.config().l1.ports {
+            hbc_mem::PortModel::Banked(n) => {
+                hbc_mem::addr::bank_of(addr, self.mem.config().l1.line_bytes, n)
+            }
+            _ => 0,
         }
     }
 
-    fn retire(&mut self, now: u64, stats: &mut RunStats) {
+    /// Retires finished instructions in order; returns how many retired and
+    /// whether commit stalled on a full store buffer.
+    fn retire(&mut self, now: u64, stats: &mut RunStats) -> (u64, bool) {
+        let mut retired = 0u64;
         for _ in 0..self.cfg.commit_width {
             let Some(slot) = self.rob.front() else { break };
             let Stage::Done { at } = slot.stage else { break };
@@ -296,20 +473,21 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 break;
             }
             let inst = slot.inst;
+            let dispatched_at = slot.dispatched_at;
             if inst.op().is_store() {
                 let addr = inst.addr().expect("stores carry addresses");
                 if !self.mem.commit_store(addr) {
-                    stats.store_stall_cycles += 1;
-                    break; // store buffer full: stall commit this cycle
+                    saturating_count(&mut stats.store_stall_cycles, 1);
+                    return (retired, true); // store buffer full: stall commit
                 }
-                stats.stores += 1;
+                saturating_count(&mut stats.stores, 1);
             }
             if inst.op().is_load() {
-                stats.loads += 1;
-                stats.load_latency_sum += at - slot.dispatched_at;
+                saturating_count(&mut stats.loads, 1);
+                saturating_count(&mut stats.load_latency_sum, at - dispatched_at);
             }
             if inst.op().is_control() && inst.mispredicted() {
-                stats.mispredicts += 1;
+                saturating_count(&mut stats.mispredicts, 1);
             }
             if inst.is_mem() {
                 self.lsq_used -= 1;
@@ -317,17 +495,21 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             self.rob.pop_front();
             self.head += 1;
             self.retired_total += 1;
+            retired += 1;
+            #[cfg(feature = "probe")]
+            self.trace(TraceEvent::Commit { cycle: now, inst: inst.id().get() });
         }
+        (retired, false)
     }
 
     fn fetch(&mut self, now: u64, stats: &mut RunStats) {
         if self.waiting_branch.is_some() || now < self.fetch_resume_at {
-            stats.fetch_stall_cycles += 1;
+            saturating_count(&mut stats.fetch_stall_cycles, 1);
             return;
         }
         for _ in 0..self.cfg.fetch_width {
             if self.rob.len() == self.cfg.rob_entries {
-                stats.rob_full_cycles += 1;
+                saturating_count(&mut stats.rob_full_cycles, 1);
                 break;
             }
             let inst = match self.staged.take() {
@@ -341,7 +523,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             }
             debug_assert_eq!(inst.id().get(), self.head + self.rob.len() as u64);
             if inst.is_mem() && self.lsq_used == self.cfg.lsq_entries {
-                stats.lsq_full_cycles += 1;
+                saturating_count(&mut stats.lsq_full_cycles, 1);
                 self.staged = Some(inst);
                 break;
             }
@@ -350,6 +532,8 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             }
             let mispredict = inst.op().is_control() && inst.mispredicted();
             self.rob.push_back(Slot { inst, dispatched_at: now, stage: Stage::Dispatched });
+            #[cfg(feature = "probe")]
+            self.trace(TraceEvent::Fetch { cycle: now, inst: inst.id().get() });
             if mispredict {
                 // Fetch down the wrong path is not modeled; the front end
                 // simply produces nothing until the branch resolves.
@@ -628,5 +812,118 @@ mod tests {
             let stats = core.run(20_000);
             assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0, "{b}: implausible IPC {}", stats.ipc());
         }
+    }
+}
+
+#[cfg(all(test, feature = "probe"))]
+mod probe_tests {
+    use super::*;
+    use hbc_isa::{ExecMode, OpClass};
+    use hbc_mem::{MemConfig, PortModel};
+    use hbc_probe::StallCause;
+
+    fn mem(ports: PortModel, hit: u64) -> MemSystem {
+        MemSystem::new(MemConfig::paper_sram(32 << 10, hit, ports)).unwrap()
+    }
+
+    fn stream(f: impl Fn(u64) -> DynInst + 'static) -> impl Iterator<Item = DynInst> {
+        (0u64..).map(f)
+    }
+
+    #[test]
+    fn stall_attribution_sums_to_cycles() {
+        use hbc_workloads::{Benchmark, WorkloadGen};
+        let gen = WorkloadGen::new(Benchmark::Gcc, 11);
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Banked(8), 1), gen).unwrap();
+        core.run(1_000);
+        let stats = core.run(5_000);
+        assert_eq!(stats.stall.total(), stats.cycles);
+        assert!(stats.stall.get(StallCause::Commit) > 0);
+        let widths: u64 = stats.issue_width.iter().sum();
+        assert_eq!(widths, stats.cycles, "every cycle has exactly one issue width");
+    }
+
+    #[test]
+    fn branch_recovery_charged_while_squelched() {
+        let s = stream(|i| {
+            if i % 8 == 7 {
+                DynInst::new(InstId::new(i), OpClass::Branch, ExecMode::User)
+                    .with_branch(true, true)
+            } else {
+                DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User)
+            }
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        let stats = core.run(5_000);
+        assert!(
+            stats.stall.get(StallCause::BranchRecovery) > 0,
+            "mispredict squelch must be attributed: {:?}",
+            stats.stall
+        );
+    }
+
+    #[test]
+    fn pipelined_hits_charge_dcache_occupancy() {
+        // A serial chain of hot loads on a 3-cycle pipelined cache: while
+        // the head's hit sits in the array, nothing retires and the cycle
+        // belongs to the data cache.
+        let chained = |i: u64| {
+            let inst = DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User).with_addr(0x40);
+            if i > 0 {
+                inst.with_src(InstId::new(i - 1))
+            } else {
+                inst
+            }
+        };
+        let mut core =
+            Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 3), stream(chained)).unwrap();
+        core.run(500);
+        let stats = core.run(2_000);
+        assert!(
+            stats.stall.get(StallCause::DcachePortConflict) > 0,
+            "pipelined hit occupancy must be attributed: {:?}",
+            stats.stall
+        );
+        assert_eq!(stats.stall.total(), stats.cycles);
+    }
+
+    #[test]
+    fn cold_misses_charge_dram_busy() {
+        // Striding loads across 2 MB dodge both caches often enough that
+        // the head spends cycles waiting on fills.
+        let s = stream(|i| {
+            DynInst::new(InstId::new(i), OpClass::Load, ExecMode::User)
+                .with_addr((i * 8192) % (256 << 20))
+        });
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Ideal(2), 1), s).unwrap();
+        let stats = core.run(2_000);
+        assert!(stats.stall.get(StallCause::DramBusy) > 0, "{:?}", stats.stall);
+    }
+
+    #[test]
+    fn tracer_is_bounded_and_dumpable() {
+        let s = stream(|i| DynInst::new(InstId::new(i), OpClass::IntAlu, ExecMode::User));
+        let mut core = Core::new(CpuConfig::paper(), mem(PortModel::Duplicate, 1), s).unwrap();
+        assert_eq!(core.trace_jsonl(), None, "no tracer until enabled");
+        core.enable_trace(64);
+        core.run(1_000);
+        let jsonl = core.trace_jsonl().unwrap();
+        assert_eq!(jsonl.lines().count(), 64, "ring buffer stays bounded");
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"ev\":\"")), "JSONL shape");
+        assert!(jsonl.contains("\"ev\":\"commit\""));
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        use hbc_workloads::{Benchmark, WorkloadGen};
+        let run = || {
+            let gen = WorkloadGen::new(Benchmark::Compress, 3);
+            let mut core =
+                Core::new(CpuConfig::paper(), mem(PortModel::Banked(8), 1), gen).unwrap();
+            core.enable_trace(256);
+            core.run(3_000);
+            core.trace_jsonl().unwrap()
+        };
+        assert_eq!(run(), run());
     }
 }

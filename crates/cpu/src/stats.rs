@@ -1,9 +1,15 @@
 //! Processor statistics.
 
+use hbc_probe::{ProbeExport, ProbeRegistry, StallBreakdown};
+
 /// Statistics for one measured simulation window.
 ///
 /// Produced by [`crate::Core::run`]; instructions retired during the window
 /// divided by the cycles it took give the paper's IPC metric.
+///
+/// The per-cycle fields ([`RunStats::stall`], [`RunStats::issue_width`])
+/// are populated only when the `probe` feature is enabled; without it they
+/// stay zeroed and the core pays no per-cycle accounting cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
     /// Instructions retired in the window.
@@ -28,6 +34,12 @@ pub struct RunStats {
     pub store_stall_cycles: u64,
     /// Sum over retired loads of (completion - dispatch) cycles.
     pub load_latency_sum: u64,
+    /// Every cycle of the window charged to exactly one stall cause
+    /// (`probe` builds only; sums to [`RunStats::cycles`] when populated).
+    pub stall: StallBreakdown,
+    /// `issue_width[w]` counts cycles that issued exactly `w` instructions
+    /// (`probe` builds only; the last slot aggregates anything wider).
+    pub issue_width: [u64; 8],
 }
 
 impl RunStats {
@@ -50,9 +62,30 @@ impl RunStats {
     }
 }
 
+impl ProbeExport for RunStats {
+    fn export_probes(&self, reg: &mut ProbeRegistry) {
+        reg.counter("cpu.run.cycles").set(self.cycles);
+        reg.counter("cpu.retire.instructions").set(self.instructions);
+        reg.counter("cpu.retire.loads").set(self.loads);
+        reg.counter("cpu.retire.stores").set(self.stores);
+        reg.counter("cpu.retire.mispredicts").set(self.mispredicts);
+        reg.counter("cpu.retire.load_latency_sum").set(self.load_latency_sum);
+        reg.counter("cpu.fetch.rob_full_cycles").set(self.rob_full_cycles);
+        reg.counter("cpu.fetch.lsq_full_cycles").set(self.lsq_full_cycles);
+        reg.counter("cpu.fetch.squelch_cycles").set(self.fetch_stall_cycles);
+        reg.counter("cpu.commit.store_stall_cycles").set(self.store_stall_cycles);
+        self.stall.export(reg);
+        let h = reg.histogram("cpu.issue.width_used");
+        for (w, &n) in self.issue_width.iter().enumerate() {
+            h.record_n(w as u64, n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbc_probe::StallCause;
 
     #[test]
     fn ipc_math() {
@@ -66,5 +99,24 @@ mod tests {
         let s = RunStats { loads: 4, load_latency_sum: 20, ..RunStats::default() };
         assert!((s.avg_load_latency() - 5.0).abs() < 1e-12);
         assert_eq!(RunStats::default().avg_load_latency(), 0.0);
+    }
+
+    #[test]
+    fn export_covers_fields_stalls_and_issue_widths() {
+        let mut s = RunStats { cycles: 10, instructions: 8, ..RunStats::default() };
+        for _ in 0..10 {
+            s.stall.charge(StallCause::Commit);
+        }
+        s.issue_width[0] = 2;
+        s.issue_width[4] = 8;
+        let mut reg = ProbeRegistry::new();
+        s.export_probes(&mut reg);
+        assert_eq!(reg.get("cpu.run.cycles"), Some(10));
+        assert_eq!(reg.get("cpu.stall.commit"), Some(10));
+        assert_eq!(reg.get("cpu.stall.dram_busy"), Some(0));
+        let h = reg.get_histogram("cpu.issue.width_used").unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 32);
+        assert!((h.mean() - 3.2).abs() < 1e-12);
     }
 }

@@ -9,6 +9,7 @@ use crate::mshr::MshrFile;
 use crate::ports::{PortDenied, PortTracker};
 use crate::stats::MemStats;
 use crate::store_buffer::StoreBuffer;
+use hbc_probe::{saturating_count, ProbeExport, ProbeRegistry};
 
 /// Why the memory system could not accept a load this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,7 +151,7 @@ impl MemSystem {
     /// cycle. Accepted loads report their absolute completion cycle; the
     /// caller is responsible for waking dependents then.
     pub fn try_load(&mut self, addr: u64) -> LoadResponse {
-        self.stats.load_requests += 1;
+        saturating_count(&mut self.stats.load_requests, 1);
         let line = line_index(addr, self.cfg.l1.line_bytes);
         // A line whose fill is still outstanding reads as present in the tag
         // array (fills update tags at allocation time), so the MSHR file is
@@ -161,18 +162,18 @@ impl MemSystem {
         if merge_with.is_none() {
             if let Some(lb) = &mut self.lb {
                 if lb.lookup(addr) {
-                    self.stats.lb_hits += 1;
+                    saturating_count(&mut self.stats.lb_hits, 1);
                     return LoadResponse::LineBufferHit { complete_at: self.now + 1 };
                 }
             }
         }
         let would_hit = merge_with.is_none() && self.l1.probe(addr);
         if !would_hit && merge_with.is_none() && self.mshrs.in_flight() == self.mshrs.capacity() {
-            self.stats.mshr_rejections += 1;
+            saturating_count(&mut self.stats.mshr_rejections, 1);
             return LoadResponse::Rejected(RejectReason::MshrFull);
         }
         if let Err(denied) = self.ports.acquire_load(addr) {
-            self.stats.load_rejections += 1;
+            saturating_count(&mut self.stats.load_rejections, 1);
             return LoadResponse::Rejected(match denied {
                 PortDenied::PortsBusy => RejectReason::PortsBusy,
                 PortDenied::BankConflict => RejectReason::BankConflict,
@@ -181,15 +182,15 @@ impl MemSystem {
         let touch = self.l1.touch_evict(addr);
         self.fill_line_buffer(addr, touch.evicted);
         if would_hit {
-            self.stats.l1_load_hits += 1;
+            saturating_count(&mut self.stats.l1_load_hits, 1);
             return LoadResponse::Hit { complete_at: self.now + self.cfg.l1.hit_cycles };
         }
-        self.stats.l1_load_misses += 1;
+        saturating_count(&mut self.stats.l1_load_misses, 1);
         let miss_seen_at = self.now + self.cfg.l1.hit_cycles;
         let complete_at = match merge_with {
             Some(fill_at) => {
                 self.mshrs.note_merge();
-                self.stats.miss_merges += 1;
+                saturating_count(&mut self.stats.miss_merges, 1);
                 fill_at.max(miss_seen_at)
             }
             None => {
@@ -207,7 +208,7 @@ impl MemSystem {
     /// when the buffer is full (the caller must stall commit and retry).
     pub fn commit_store(&mut self, addr: u64) -> bool {
         if self.stores.push(addr) {
-            self.stats.stores += 1;
+            saturating_count(&mut self.stats.stores, 1);
             true
         } else {
             false
@@ -230,10 +231,10 @@ impl MemSystem {
             self.stores.pop();
             let touch = self.l1.touch_evict(addr);
             if !hit {
-                self.stats.store_misses += 1;
+                saturating_count(&mut self.stats.store_misses, 1);
                 if merged {
                     self.mshrs.note_merge();
-                    self.stats.miss_merges += 1;
+                    saturating_count(&mut self.stats.miss_merges, 1);
                 } else {
                     let fill_at = self.fill_from_below(addr, self.now + self.cfg.l1.hit_cycles);
                     self.mshrs
@@ -297,7 +298,7 @@ impl MemSystem {
         match self.cfg.l2 {
             SecondLevel::Sram { hit_cycles, .. } => {
                 if l2_hit {
-                    self.stats.l2_hits += 1;
+                    saturating_count(&mut self.stats.l2_hits, 1);
                     // The 10-cycle (50 ns) hit time covers the round trip;
                     // the chip bus is reserved for the line transfer so
                     // later fills queue behind it, but an uncontended bus
@@ -306,7 +307,7 @@ impl MemSystem {
                     let xfer = self.chip_bus.reserve(t0, l1_line);
                     data_ready.max(xfer + self.chip_bus.transfer_cycles(l1_line))
                 } else {
-                    self.stats.l2_misses += 1;
+                    saturating_count(&mut self.stats.l2_misses, 1);
                     let fetch = self.cfg.mem_fetch_bytes;
                     let mem_ready = t0 + hit_cycles + self.cfg.mem_latency;
                     let mem_xfer = self.mem_bus.reserve(mem_ready, fetch);
@@ -320,10 +321,10 @@ impl MemSystem {
                 // are the row-buffer cache, so a hit costs only the DRAM
                 // access and no bus transfer.
                 if l2_hit {
-                    self.stats.l2_hits += 1;
+                    saturating_count(&mut self.stats.l2_hits, 1);
                     t0 + hit_cycles
                 } else {
-                    self.stats.l2_misses += 1;
+                    saturating_count(&mut self.stats.l2_misses, 1);
                     let fetch = self.cfg.mem_fetch_bytes;
                     let mem_ready = t0 + hit_cycles + self.cfg.mem_latency;
                     let mem_xfer = self.mem_bus.reserve(mem_ready, fetch);
@@ -394,6 +395,18 @@ impl MemSystem {
     /// Outstanding misses.
     pub fn misses_in_flight(&self) -> usize {
         self.mshrs.in_flight()
+    }
+}
+
+impl ProbeExport for MemSystem {
+    /// Exports the [`MemStats`] counters plus the port-arbitration and
+    /// line-buffer counters only the components themselves track.
+    fn export_probes(&self, reg: &mut ProbeRegistry) {
+        self.stats.export_probes(reg);
+        reg.counter("mem.ports.bank_conflicts").set(self.ports.bank_conflicts());
+        reg.counter("mem.ports.rejections").set(self.ports.port_rejections());
+        reg.counter("mem.lb.lookups").set(self.lb.as_ref().map(|lb| lb.lookups()).unwrap_or(0));
+        reg.counter("mem.store.pending").set(self.stores.len() as u64);
     }
 }
 

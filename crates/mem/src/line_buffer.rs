@@ -2,6 +2,7 @@
 //! load/store execution unit (paper Section 2.3, [Wils96]).
 
 use crate::addr::line_index;
+use hbc_probe::saturating_count;
 
 /// A fully associative, multi-ported line buffer with LRU replacement.
 ///
@@ -56,12 +57,12 @@ impl LineBuffer {
 
     /// Looks up `addr`; on a hit refreshes LRU and returns `true`.
     pub fn lookup(&mut self, addr: u64) -> bool {
-        self.lookups += 1;
+        saturating_count(&mut self.lookups, 1);
         self.clock += 1;
         let line = line_index(addr, self.line_bytes);
         if let Some(e) = self.lines.iter_mut().find(|(l, _)| *l == line) {
             e.1 = self.clock;
-            self.hits += 1;
+            saturating_count(&mut self.hits, 1);
             true
         } else {
             false

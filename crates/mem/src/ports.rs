@@ -2,6 +2,7 @@
 
 use crate::addr::bank_of;
 use crate::config::PortModel;
+use hbc_probe::saturating_count;
 
 /// Why a port request was denied this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,14 +69,14 @@ impl PortTracker {
         match self.model {
             PortModel::Ideal(n) => {
                 if self.used >= n {
-                    self.port_rejections += 1;
+                    saturating_count(&mut self.port_rejections, 1);
                     return Err(PortDenied::PortsBusy);
                 }
                 self.used += 1;
             }
             PortModel::Duplicate => {
                 if self.used >= 2 {
-                    self.port_rejections += 1;
+                    saturating_count(&mut self.port_rejections, 1);
                     return Err(PortDenied::PortsBusy);
                 }
                 self.used += 1;
@@ -83,7 +84,7 @@ impl PortTracker {
             PortModel::Banked(n) => {
                 let bank = bank_of(addr, self.line_bytes, n) as usize;
                 if self.banks_used[bank] {
-                    self.bank_conflicts += 1;
+                    saturating_count(&mut self.bank_conflicts, 1);
                     return Err(PortDenied::BankConflict);
                 }
                 self.banks_used[bank] = true;
@@ -121,7 +122,7 @@ impl PortTracker {
             PortModel::Banked(n) => {
                 let bank = bank_of(addr, self.line_bytes, n) as usize;
                 if self.banks_used[bank] {
-                    self.bank_conflicts += 1;
+                    saturating_count(&mut self.bank_conflicts, 1);
                     return Err(PortDenied::BankConflict);
                 }
                 self.banks_used[bank] = true;

@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use hbc_probe::{ProbeExport, ProbeRegistry};
+
 /// Counters accumulated by [`crate::MemSystem`] over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -49,6 +51,22 @@ impl MemStats {
     }
 }
 
+impl ProbeExport for MemStats {
+    fn export_probes(&self, reg: &mut ProbeRegistry) {
+        reg.counter("mem.load.requests").set(self.load_requests);
+        reg.counter("mem.lb.hits").set(self.lb_hits);
+        reg.counter("mem.l1.load_hits").set(self.l1_load_hits);
+        reg.counter("mem.l1.load_misses").set(self.l1_load_misses);
+        reg.counter("mem.l1.miss_merges").set(self.miss_merges);
+        reg.counter("mem.l1.load_rejections").set(self.load_rejections);
+        reg.counter("mem.l1.mshr_rejections").set(self.mshr_rejections);
+        reg.counter("mem.store.accepted").set(self.stores);
+        reg.counter("mem.store.misses").set(self.store_misses);
+        reg.counter("mem.l2.hits").set(self.l2_hits);
+        reg.counter("mem.l2.misses").set(self.l2_misses);
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -67,6 +85,18 @@ mod tests {
         assert_eq!(s.lb_hit_ratio(), 0.0);
         assert_eq!(s.load_miss_ratio(), 0.0);
         assert_eq!(s.l2_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn export_mirrors_fields() {
+        let s = MemStats { lb_hits: 7, l1_load_misses: 3, l2_hits: 1, ..MemStats::default() };
+        let mut reg = ProbeRegistry::new();
+        s.export_probes(&mut reg);
+        assert_eq!(reg.get("mem.lb.hits"), Some(7));
+        assert_eq!(reg.get("mem.l1.load_misses"), Some(3));
+        assert_eq!(reg.get("mem.l2.hits"), Some(1));
+        assert_eq!(reg.get("mem.l2.misses"), Some(0));
+        assert_eq!(reg.len(), 11, "one counter per MemStats field");
     }
 
     #[test]

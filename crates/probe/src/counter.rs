@@ -1,0 +1,243 @@
+//! Saturating counters and power-of-two histograms.
+
+/// Adds `delta` to `slot` without wrapping.
+///
+/// Every statistics counter in the simulator funnels through this helper:
+/// release builds saturate at `u64::MAX` instead of silently wrapping (a
+/// wrapped counter reads as a tiny value and corrupts every derived ratio),
+/// and `sanitize` builds assert on the overflow so the bug is caught where
+/// it happens.
+#[inline]
+pub fn saturating_count(slot: &mut u64, delta: u64) {
+    #[cfg(feature = "sanitize")]
+    debug_assert!(
+        slot.checked_add(delta).is_some(),
+        "sanitize: counter overflow ({slot} + {delta})"
+    );
+    *slot = slot.saturating_add(delta);
+}
+
+/// A monotonically increasing, saturating event counter.
+///
+/// # Example
+///
+/// ```
+/// use hbc_probe::Counter;
+///
+/// let mut c = Counter::default();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at `value`.
+    pub fn new(value: u64) -> Self {
+        Counter(value)
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`, saturating at `u64::MAX`.
+    pub fn add(&mut self, delta: u64) {
+        saturating_count(&mut self.0, delta);
+    }
+
+    /// Overwrites the value (used when deriving a counter from an existing
+    /// statistics field, the registry's snapshot path).
+    pub fn set(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histogram`] (bit lengths 0..=64).
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `k` counts samples whose bit length is `k` (bucket 0 holds the
+/// value zero, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7,
+/// …). Alongside the buckets it keeps exact count, sum, min, and max, so
+/// means are exact and only the shape is quantized. Fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use hbc_probe::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 100);
+/// assert!((h.mean() - 26.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples (used when folding an already-counted
+    /// array, e.g. per-width issue tallies, into the registry).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        saturating_count(&mut self.count, n);
+        saturating_count(&mut self.sum, value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        saturating_count(&mut self.buckets[bucket], n);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy of power-of-two bucket `k` (samples of bit length `k`).
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets.get(k).copied().unwrap_or(0)
+    }
+
+    /// `(count, sum, min, max)` rendered as a JSON object fragment.
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.4}}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // In sanitize debug builds overflow asserts instead of saturating
+    // silently; the saturation path only exists for release figure runs.
+    #[cfg(not(feature = "sanitize"))]
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        let mut slot = u64::MAX;
+        saturating_count(&mut slot, 1);
+        assert_eq!(slot, u64::MAX);
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn sanitize_asserts_on_overflow() {
+        let mut slot = u64::MAX;
+        saturating_count(&mut slot, 1);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        c.set(7);
+        assert_eq!(c.to_string(), "7");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.bucket(0), 1); // value 0
+        assert_eq!(h.bucket(1), 1); // value 1
+        assert_eq!(h.bucket(2), 2); // values 2-3
+        assert_eq!(h.bucket(3), 1); // values 4-7
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn histogram_record_n_and_empty() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record_n(8, 4);
+        h.record_n(9, 0); // no-op
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 32);
+        assert!((h.mean() - 8.0).abs() < 1e-12);
+        assert!(h.to_json().contains("\"count\":4"));
+    }
+}

@@ -1,0 +1,280 @@
+//! A bounded ring-buffer cycle tracer with JSONL export.
+
+use std::collections::VecDeque;
+
+/// One pipeline or cache event, stamped with the cycle it happened on.
+///
+/// `inst` is the retirement-order instruction index the event belongs to;
+/// cache events carry the byte address and (for banked configurations) the
+/// bank the access mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction entered the window.
+    Fetch {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+    },
+    /// An instruction began executing (or its load was accepted).
+    Issue {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+    },
+    /// An instruction finished executing.
+    ExecDone {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+    },
+    /// An instruction retired.
+    Commit {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+    },
+    /// A load hit in the primary cache.
+    CacheHit {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+        /// Byte address of the access.
+        addr: u64,
+        /// Cache bank the address mapped to.
+        bank: u32,
+    },
+    /// A load missed in the primary cache.
+    CacheMiss {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+        /// Byte address of the access.
+        addr: u64,
+        /// Cache bank the address mapped to.
+        bank: u32,
+    },
+    /// A load was satisfied by the line buffer.
+    LineBufferHit {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+        /// Byte address of the access.
+        addr: u64,
+    },
+    /// A load was rejected this cycle (port/bank conflict or MSHRs full).
+    CacheReject {
+        /// Cycle the event occurred on.
+        cycle: u64,
+        /// Retirement-order instruction index.
+        inst: u64,
+        /// Byte address of the access.
+        addr: u64,
+        /// Cache bank the address mapped to.
+        bank: u32,
+        /// Why the access was rejected (`ports_busy`, `bank_conflict`,
+        /// `mshr_full`).
+        why: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// Cycle the event occurred on.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Fetch { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::ExecDone { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::CacheHit { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::LineBufferHit { cycle, .. }
+            | TraceEvent::CacheReject { cycle, .. } => cycle,
+        }
+    }
+
+    /// The event as one JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::Fetch { cycle, inst } => {
+                format!("{{\"ev\":\"fetch\",\"cycle\":{cycle},\"inst\":{inst}}}")
+            }
+            TraceEvent::Issue { cycle, inst } => {
+                format!("{{\"ev\":\"issue\",\"cycle\":{cycle},\"inst\":{inst}}}")
+            }
+            TraceEvent::ExecDone { cycle, inst } => {
+                format!("{{\"ev\":\"exec_done\",\"cycle\":{cycle},\"inst\":{inst}}}")
+            }
+            TraceEvent::Commit { cycle, inst } => {
+                format!("{{\"ev\":\"commit\",\"cycle\":{cycle},\"inst\":{inst}}}")
+            }
+            TraceEvent::CacheHit { cycle, inst, addr, bank } => format!(
+                "{{\"ev\":\"cache_hit\",\"cycle\":{cycle},\"inst\":{inst},\"addr\":{addr},\"bank\":{bank}}}"
+            ),
+            TraceEvent::CacheMiss { cycle, inst, addr, bank } => format!(
+                "{{\"ev\":\"cache_miss\",\"cycle\":{cycle},\"inst\":{inst},\"addr\":{addr},\"bank\":{bank}}}"
+            ),
+            TraceEvent::LineBufferHit { cycle, inst, addr } => format!(
+                "{{\"ev\":\"lb_hit\",\"cycle\":{cycle},\"inst\":{inst},\"addr\":{addr}}}"
+            ),
+            TraceEvent::CacheReject { cycle, inst, addr, bank, why } => format!(
+                "{{\"ev\":\"cache_reject\",\"cycle\":{cycle},\"inst\":{inst},\"addr\":{addr},\"bank\":{bank},\"why\":\"{why}\"}}"
+            ),
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s: always holds the most recent
+/// `capacity` events, dropping the oldest as new ones arrive.
+///
+/// The core keeps one of these when a trace window is requested
+/// (`--trace-window N`) and dumps it on demand — or to stderr when the
+/// deadlock detector fires, so the last cycles before a hang are never
+/// lost. Capacity 0 disables recording entirely.
+///
+/// # Example
+///
+/// ```
+/// use hbc_probe::{TraceEvent, Tracer};
+///
+/// let mut t = Tracer::new(2);
+/// t.push(TraceEvent::Fetch { cycle: 1, inst: 0 });
+/// t.push(TraceEvent::Issue { cycle: 2, inst: 0 });
+/// t.push(TraceEvent::Commit { cycle: 3, inst: 0 });
+/// assert_eq!(t.len(), 2); // oldest event dropped
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer { capacity, events: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped = self.dropped.saturating_add(1);
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.events.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted (or discarded by a zero-capacity
+    /// tracer) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Cycle of the oldest retained event, if any.
+    pub fn first_cycle(&self) -> Option<u64> {
+        self.events.front().map(|e| e.cycle())
+    }
+
+    /// The retained window as JSON lines, oldest first, one event per line
+    /// (trailing newline after each line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut t = Tracer::new(3);
+        for i in 0..10u64 {
+            t.push(TraceEvent::Fetch { cycle: i, inst: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.first_cycle(), Some(7));
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, [7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Tracer::new(0);
+        t.push(TraceEvent::Commit { cycle: 1, inst: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_round_trips_fields() {
+        let mut t = Tracer::new(8);
+        t.push(TraceEvent::CacheReject {
+            cycle: 5,
+            inst: 2,
+            addr: 4096,
+            bank: 3,
+            why: "bank_conflict",
+        });
+        t.push(TraceEvent::LineBufferHit { cycle: 6, inst: 3, addr: 4104 });
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"cache_reject\",\"cycle\":5,\"inst\":2,\"addr\":4096,\"bank\":3,\"why\":\"bank_conflict\"}"
+        );
+        assert_eq!(lines[1], "{\"ev\":\"lb_hit\",\"cycle\":6,\"inst\":3,\"addr\":4104}");
+    }
+
+    #[test]
+    fn every_variant_serialises() {
+        let evs = [
+            TraceEvent::Fetch { cycle: 1, inst: 1 },
+            TraceEvent::Issue { cycle: 2, inst: 1 },
+            TraceEvent::ExecDone { cycle: 3, inst: 1 },
+            TraceEvent::Commit { cycle: 4, inst: 1 },
+            TraceEvent::CacheHit { cycle: 5, inst: 2, addr: 64, bank: 0 },
+            TraceEvent::CacheMiss { cycle: 6, inst: 3, addr: 128, bank: 1 },
+        ];
+        for ev in evs {
+            let json = ev.to_json();
+            assert!(json.starts_with("{\"ev\":\""), "{json}");
+            assert!(json.contains(&format!("\"cycle\":{}", ev.cycle())), "{json}");
+        }
+    }
+}

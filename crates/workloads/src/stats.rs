@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use hbc_isa::{ExecMode, OpClass};
+use hbc_probe::{saturating_count, ProbeExport, ProbeRegistry};
 
 use crate::WorkloadGen;
 
@@ -48,18 +49,18 @@ impl StreamStats {
         for _ in 0..n {
             let i = gen.next_inst();
             match i.op() {
-                OpClass::Load => s.loads += 1,
-                OpClass::Store => s.stores += 1,
-                OpClass::Branch => s.branches += 1,
-                OpClass::Jump => s.jumps += 1,
-                op if op.is_fp() => s.fp_ops += 1,
+                OpClass::Load => saturating_count(&mut s.loads, 1),
+                OpClass::Store => saturating_count(&mut s.stores, 1),
+                OpClass::Branch => saturating_count(&mut s.branches, 1),
+                OpClass::Jump => saturating_count(&mut s.jumps, 1),
+                op if op.is_fp() => saturating_count(&mut s.fp_ops, 1),
                 _ => {}
             }
             if i.op().is_control() && i.mispredicted() {
-                s.mispredicted += 1;
+                saturating_count(&mut s.mispredicted, 1);
             }
             if i.mode() == ExecMode::Kernel {
-                s.kernel += 1;
+                saturating_count(&mut s.kernel, 1);
             }
             if let Some(a) = i.addr() {
                 lines.insert(a / 32);
@@ -120,6 +121,20 @@ impl StreamStats {
     }
 }
 
+impl ProbeExport for StreamStats {
+    fn export_probes(&self, reg: &mut ProbeRegistry) {
+        reg.counter("workload.mix.instructions").set(self.instructions);
+        reg.counter("workload.mix.loads").set(self.loads);
+        reg.counter("workload.mix.stores").set(self.stores);
+        reg.counter("workload.mix.branches").set(self.branches);
+        reg.counter("workload.mix.jumps").set(self.jumps);
+        reg.counter("workload.mix.mispredicted").set(self.mispredicted);
+        reg.counter("workload.mix.fp_ops").set(self.fp_ops);
+        reg.counter("workload.mix.kernel").set(self.kernel);
+        reg.counter("workload.ws.distinct_lines").set(self.distinct_lines);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +190,17 @@ mod tests {
         assert!((s.control_pct() - 16.0).abs() < 1.5, "control {}", s.control_pct());
         assert!(s.touched_bytes() > 0);
         assert_eq!(s.instructions(), 40_000);
+    }
+
+    #[test]
+    fn export_covers_the_mix() {
+        let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
+        let s = StreamStats::characterize(&mut gen, 10_000);
+        let mut reg = ProbeRegistry::new();
+        s.export_probes(&mut reg);
+        assert_eq!(reg.get("workload.mix.instructions"), Some(10_000));
+        assert_eq!(reg.get("workload.ws.distinct_lines"), Some(s.distinct_lines()));
+        assert_eq!(reg.len(), 9);
     }
 
     #[test]

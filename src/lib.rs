@@ -15,6 +15,9 @@
 //! * [`cpu`] — the four-issue dynamic superscalar processor model.
 //! * [`core`] — experiment drivers reproducing every table and figure of
 //!   the paper, plus the execution-time study.
+//! * [`probe`] — the observability layer: counter/histogram registry,
+//!   stall-cause attribution, and the cycle tracer (enable the `probe`
+//!   feature for per-cycle data).
 //!
 //! # Quickstart
 //!
@@ -36,5 +39,6 @@ pub use hbc_core as core;
 pub use hbc_cpu as cpu;
 pub use hbc_isa as isa;
 pub use hbc_mem as mem;
+pub use hbc_probe as probe;
 pub use hbc_timing as timing;
 pub use hbc_workloads as workloads;
