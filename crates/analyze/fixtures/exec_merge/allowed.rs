@@ -1,0 +1,33 @@
+// Fixture: the index-ordered merge discipline passes — workers buffer
+// (index, result) pairs privately; only a scheduling atomic is shared.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn run_cells(jobs: usize, cells: usize, cell: impl Fn(usize) -> f64 + Sync) -> Vec<f64> {
+    let next = AtomicUsize::new(0);
+    let cell = &cell;
+    let mut slots: Vec<Option<f64>> = Vec::with_capacity(cells);
+    slots.resize_with(cells, || None);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells {
+                            break;
+                        }
+                        done.push((i, cell(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, value) in worker.join().expect("worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().flatten().collect()
+}

@@ -1,0 +1,21 @@
+// Fixture: merging parallel results through shared-mutable state must fire.
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn run_cells_badly(cells: usize, cell: impl Fn(usize) -> f64 + Sync) -> Vec<f64> {
+    // Arrival-ordered accumulation: the output depends on host scheduling.
+    let out = Mutex::new(Vec::with_capacity(cells));
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..cells {
+            let tx = tx.clone();
+            let cell = &cell;
+            scope.spawn(move || tx.send(cell(i)).ok());
+        }
+        drop(tx);
+        for value in rx {
+            out.lock().expect("poisoned").push(value);
+        }
+    });
+    out.into_inner().expect("poisoned")
+}

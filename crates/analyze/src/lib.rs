@@ -2,10 +2,13 @@
 //!
 //! The simulator's core contract — every simulation is a pure function of
 //! (configuration, seed) — is not something the compiler checks. This crate
-//! does, with five rules over the workspace source:
+//! does, with six rules over the workspace source:
 //!
 //! * [`rules::determinism`] — no nondeterministically ordered collections,
 //!   wall clocks, or ambient RNGs in simulation-state crates;
+//! * [`rules::exec_merge`] — no `Mutex`/`RwLock`/channel result merging in
+//!   simulation crates: the parallel experiment engine collects results by
+//!   cell index, never arrival order;
 //! * [`rules::units`] — public `hbc-timing` functions speak the FO4 /
 //!   nanosecond / cycle newtypes, not raw `f64`/`u64`;
 //! * [`rules::config_validate`] — every `*Config` struct has a `validate()`
@@ -38,8 +41,8 @@ use std::path::PathBuf;
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// The rule that fired (`determinism`, `units`, `config-validate`,
-    /// `panic`, `probe-naming`).
+    /// The rule that fired (`determinism`, `exec-merge`, `units`,
+    /// `config-validate`, `panic`, `probe-naming`).
     pub rule: &'static str,
     /// File the violation is in.
     pub path: PathBuf,
@@ -68,6 +71,7 @@ pub fn run_all(
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     findings.extend(rules::determinism::check(files));
+    findings.extend(rules::exec_merge::check(files));
     findings.extend(rules::units::check(files));
     findings.extend(rules::config_validate::check(files));
     findings.extend(rules::panic_path::check(files, baseline));

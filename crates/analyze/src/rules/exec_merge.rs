@@ -1,0 +1,111 @@
+//! Rule `exec-merge`: simulation crates must not merge parallel results
+//! through shared-mutable synchronization.
+//!
+//! The `hbc-exec` engine's bit-identical guarantee rests on its merge
+//! discipline: workers buffer `(cell index, result)` pairs privately and
+//! the engine writes each result into slot `index` after the join. A
+//! `Mutex`-guarded accumulator, an `mpsc` channel drained in arrival
+//! order, or a `RwLock`-shared table would all make the output depend on
+//! host scheduling — exactly the nondeterminism the engine exists to
+//! exclude. This rule bans those primitives from every simulation-state
+//! crate so the property cannot erode quietly; scheduling-only atomics
+//! (the work-stealing cell counter) remain fine because they never carry
+//! results.
+
+use crate::source::{tokens, SourceFile};
+use crate::{Finding, SIM_CRATES};
+
+/// Identifier tokens forbidden in simulation crates, with the suggestion
+/// reported alongside each.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("Mutex", "shared-mutable merge orders results by arrival; collect (index, result) pairs and write slots after the join"),
+    ("RwLock", "shared-mutable merge orders results by arrival; collect (index, result) pairs and write slots after the join"),
+    ("Condvar", "wakeup order is scheduler-dependent; workers must buffer results privately until the join"),
+    ("mpsc", "channel receive order is arrival order; collect (index, result) pairs and write slots after the join"),
+    ("channel", "channel receive order is arrival order; collect (index, result) pairs and write slots after the join"),
+];
+
+/// Runs the rule over all files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "exec-merge") {
+                continue;
+            }
+            for (_, tok) in tokens(&line.code) {
+                if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok) {
+                    findings.push(Finding {
+                        rule: "exec-merge",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!("`{name}` in {}: {why}", file.crate_name),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(crate_name: &str, text: &str) -> Vec<Finding> {
+        check(&[SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)])
+    }
+
+    #[test]
+    fn flags_mutex_in_sim_crate() {
+        let f = run("hbc-core", "use std::sync::Mutex;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("(index, result)"));
+    }
+
+    #[test]
+    fn flags_channels() {
+        assert_eq!(run("hbc-core", "use std::sync::mpsc;\n").len(), 1);
+        assert_eq!(run("hbc-core", "let (tx, rx) = mpsc::channel();\n").len(), 2);
+    }
+
+    #[test]
+    fn atomics_and_scoped_threads_pass() {
+        let ok = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                  let next = AtomicUsize::new(0);\n\
+                  std::thread::scope(|scope| {});\n";
+        assert!(run("hbc-core", ok).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_sim_crates_and_tests() {
+        assert!(run("hbc-bench", "use std::sync::Mutex;\n").is_empty());
+        assert!(run("hbc-core", "#[cfg(test)]\nmod t {\n use std::sync::Mutex;\n}\n").is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let f = run("hbc-core", "use std::sync::Mutex; // hbc-allow: exec-merge\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn strings_do_not_fire() {
+        assert!(run("hbc-core", "let s = \"Mutex\";\n").is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/exec_merge");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run("hbc-core", &bad).is_empty());
+        assert!(run("hbc-core", &ok).is_empty());
+    }
+}

@@ -1,7 +1,8 @@
-//! The five analysis rules.
+//! The six analysis rules.
 
 pub mod config_validate;
 pub mod determinism;
+pub mod exec_merge;
 pub mod panic_path;
 pub mod probe_naming;
 pub mod units;

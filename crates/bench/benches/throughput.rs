@@ -4,36 +4,85 @@
 //! exist to catch regressions in simulator speed, the cost the `probe`
 //! feature must not add to release figure runs.
 //!
+//! Every run writes `results/BENCH_throughput.json` with the per-metric
+//! wall-clock and rates plus a serial-vs-parallel sweep of a full figure
+//! (the CI artifact); `--json` additionally prints that document.
+//!
 //! ```text
 //! cargo bench -p hbc-bench --bench throughput
 //! cargo bench -p hbc-bench --bench throughput --features probe
+//! cargo bench -p hbc-bench --bench throughput -- --json
 //! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use hbc_core::{Benchmark, SimBuilder};
+use hbc_core::{exec, Benchmark, ExpParams, SimBuilder};
 use hbc_mem::{MemConfig, MemSystem, PortModel};
 use hbc_workloads::WorkloadGen;
 
-/// Times `f`, which processes `units` simulated units per call, and prints
-/// the best rate over a few repeats.
-fn rate(name: &str, units: u64, repeats: u32, mut f: impl FnMut()) {
+struct Metric {
+    name: &'static str,
+    units: u64,
+    best: f64,
+    wall_s: f64,
+}
+
+/// Times `f`, which processes `units` simulated units per call, prints the
+/// best rate over a few repeats, and records it for the JSON document.
+fn rate(out: &mut Vec<Metric>, name: &'static str, units: u64, repeats: u32, mut f: impl FnMut()) {
     black_box(()); // keep the import obvious for future bodies
     let mut best = 0.0f64;
+    let t_all = Instant::now();
     for _ in 0..repeats {
         let t0 = Instant::now();
         f();
         best = best.max(units as f64 / t0.elapsed().as_secs_f64().max(1e-9));
     }
     println!("{:<44} {:>12.2} M units/s", name, best / 1e6);
+    out.push(Metric { name, units, best, wall_s: t_all.elapsed().as_secs_f64() });
+}
+
+/// One full figure (Figure 6 at fast fidelity) serially and at the host's
+/// parallelism: the end-to-end engine speedup, plus aggregate sims/sec.
+fn jobs_sweep(json: &mut String) {
+    use std::fmt::Write as _;
+    let mut p = ExpParams::fast();
+    let cells = p.benchmarks.len() * 2 * 3 * 2; // benchmarks x orgs x hits x lb
+    p.jobs = 1;
+    let t0 = Instant::now();
+    black_box(hbc_core::experiments::fig6::run(&p));
+    let serial_s = t0.elapsed().as_secs_f64();
+    let jobs = exec::default_jobs();
+    p.jobs = jobs;
+    let t0 = Instant::now();
+    black_box(hbc_core::experiments::fig6::run(&p));
+    let parallel_s = t0.elapsed().as_secs_f64();
+    println!(
+        "fig6_fast_jobs1_vs_jobs{jobs}                       {serial_s:>9.3} s vs {parallel_s:.3} s ({:.2}x)",
+        serial_s / parallel_s.max(1e-9)
+    );
+    let _ = write!(
+        json,
+        "\"jobs_sweep\":{{\"figure\":\"fig6_fast\",\"cells\":{cells},\
+         \"serial_wall_s\":{serial_s:.6},\"serial_sims_per_sec\":{:.3},\
+         \"parallel_jobs\":{jobs},\"parallel_wall_s\":{parallel_s:.6},\
+         \"parallel_sims_per_sec\":{:.3},\"speedup\":{:.3}}}",
+        cells as f64 / serial_s.max(1e-9),
+        cells as f64 / parallel_s.max(1e-9),
+        serial_s / parallel_s.max(1e-9),
+    )
+    .is_ok();
 }
 
 fn main() {
+    use std::fmt::Write as _;
+    let print_json = std::env::args().skip(1).any(|a| a == "--json");
     println!("## throughput (probe feature: {})", cfg!(feature = "probe"));
+    let mut metrics = Vec::new();
 
     let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
-    rate("workload_gen_gcc (inst/s)", 1_000_000, 5, || {
+    rate(&mut metrics, "workload_gen_gcc (inst/s)", 1_000_000, 5, || {
         for _ in 0..1_000_000 {
             black_box(gen.next_inst());
         }
@@ -42,7 +91,7 @@ fn main() {
     let cfg = MemConfig::paper_sram(32 << 10, 2, PortModel::Banked(8)).with_line_buffer();
     let mut mem = MemSystem::new(cfg).unwrap();
     let mut now = 0u64;
-    rate("mem_system_banked8_lb (load-cycles/s)", 1_000_000, 5, || {
+    rate(&mut metrics, "mem_system_banked8_lb (load-cycles/s)", 1_000_000, 5, || {
         for _ in 0..1_000_000 {
             now += 1;
             mem.begin_cycle(now);
@@ -51,12 +100,42 @@ fn main() {
         }
     });
 
+    // Reference warm loop: full instruction decode (`next_inst`) feeding
+    // `warm_touch`, the shape the drivers used before the `next_warm` fast
+    // path existed. The ratio against `cache_warm_gcc_32k_lb` below is the
+    // fast path's speedup and is recorded as `warm_fastpath_speedup`.
+    const WARM_INSTS: u64 = 2_000_000;
+    let warm_cfg = MemConfig::paper_sram(32 << 10, 2, PortModel::Duplicate).with_line_buffer();
+    rate(&mut metrics, "warm_loop_full_decode (inst/s)", WARM_INSTS, 3, || {
+        let mut gen = WorkloadGen::new(Benchmark::Gcc, 1);
+        let mut mem = MemSystem::new(warm_cfg.clone()).unwrap();
+        for _ in 0..WARM_INSTS {
+            if let Some(addr) = gen.next_inst().addr() {
+                mem.warm_touch(addr);
+            }
+        }
+        black_box(mem.stats().clone());
+    });
+
+    rate(&mut metrics, "cache_warm_gcc_32k_lb (inst/s)", WARM_INSTS, 3, || {
+        let r = SimBuilder::new(Benchmark::Gcc)
+            .cache_size_kib(32)
+            .hit_cycles(2)
+            .ports(PortModel::Duplicate)
+            .line_buffer(true)
+            .instructions(1)
+            .warmup(0)
+            .cache_warm(WARM_INSTS)
+            .run();
+        black_box(r.ipc());
+    });
+
     const CORE_INSTS: u64 = 60_000;
     for (name, probes) in [
         ("full_core_duplicate_lb (inst/s)", false),
         ("full_core_duplicate_lb+probes (inst/s)", true),
     ] {
-        rate(name, CORE_INSTS, 3, || {
+        rate(&mut metrics, name, CORE_INSTS, 3, || {
             let r = SimBuilder::new(Benchmark::Gcc)
                 .cache_size_kib(32)
                 .hit_cycles(2)
@@ -69,5 +148,37 @@ fn main() {
                 .run();
             black_box(r.ipc());
         });
+    }
+
+    let mut json = format!("{{\"probe_feature\":{},\"metrics\":[", cfg!(feature = "probe"));
+    for (i, m) in metrics.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"name\":\"{}\",\"units_per_rep\":{},\"best_units_per_sec\":{:.3},\
+             \"wall_s\":{:.6}}}",
+            m.name, m.units, m.best, m.wall_s,
+        );
+    }
+    json.push_str("],");
+    let rate_of = |n: &str| metrics.iter().find(|m| m.name.starts_with(n)).map(|m| m.best);
+    if let (Some(slow), Some(fast)) =
+        (rate_of("warm_loop_full_decode"), rate_of("cache_warm_gcc_32k_lb"))
+    {
+        println!("{:<44} {:>12.2} x", "warm_fastpath_speedup", fast / slow.max(1e-9));
+        let _ = write!(json, "\"warm_fastpath_speedup\":{:.3},", fast / slow.max(1e-9));
+    }
+    jobs_sweep(&mut json);
+    json.push('}');
+
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Err(e) = std::fs::write("results/BENCH_throughput.json", &json) {
+            eprintln!("note: could not write results/BENCH_throughput.json: {e}");
+        }
+    }
+    if print_json {
+        println!("{json}");
     }
 }

@@ -15,93 +15,108 @@ fn sim(b: Benchmark) -> SimBuilder {
         .warmup(10_000)
 }
 
-fn main() {
+/// Runs one IPC cell per `(representative benchmark, column)` pair through
+/// the parallel execution engine and returns the grid in row-major order.
+fn grid(jobs: usize, cols: usize, cell: impl Fn(Benchmark, usize) -> f64 + Sync) -> Vec<Vec<f64>> {
     let reps = Benchmark::REPRESENTATIVES;
+    let flat =
+        hbc_core::exec::run_cells(jobs, reps.len() * cols, |i| cell(reps[i / cols], i % cols));
+    flat.chunks(cols).map(<[f64]>::to_vec).collect()
+}
 
-    let mut t = Table::new(
-        "Ablation: line-buffer entries (32K duplicate 2~ cache)",
-        &["benchmark", "none", "8", "16", "32", "64"],
-    );
-    for b in reps {
+fn table(title: &str, headers: &[&str], grid: &[Vec<f64>]) -> Table {
+    let mut t = Table::new(title, headers);
+    for (b, vals) in Benchmark::REPRESENTATIVES.iter().zip(grid) {
         let mut row = vec![b.name().to_string()];
-        row.push(fmt_f(sim(b).run().ipc(), 3));
-        for entries in [8usize, 16, 32, 64] {
-            let builder = sim(b).line_buffer(true);
-            let mut cfg = builder.mem_config();
+        row.extend(vals.iter().map(|v| fmt_f(*v, 3)));
+        t.push(row);
+    }
+    t
+}
+
+fn main() {
+    let jobs = hbc_bench::jobs_from_args();
+
+    let g = grid(jobs, 5, |b, k| match k.checked_sub(1) {
+        None => sim(b).run().ipc(),
+        Some(k) => {
+            let entries = [8usize, 16, 32, 64][k];
+            let mut cfg = sim(b).line_buffer(true).mem_config();
             cfg.l1.line_buffer = Some(hbc_mem::LineBufferConfig { entries, line_bytes: 32 });
-            // Rebuild through the builder API: entries are part of the
-            // config; use a custom run.
-            let result = run_with(cfg, b);
-            row.push(fmt_f(result, 3));
+            // Entries are part of the config, not the builder: use a
+            // custom run.
+            run_with(cfg, b)
         }
-        t.push(row);
-    }
-    println!("{t}");
-
-    let mut t = Table::new(
-        "Ablation: MSHR count (32K duplicate 2~ cache, line buffer)",
-        &["benchmark", "1", "2", "4", "8", "16"],
+    });
+    println!(
+        "{}",
+        table(
+            "Ablation: line-buffer entries (32K duplicate 2~ cache)",
+            &["benchmark", "none", "8", "16", "32", "64"],
+            &g,
+        )
     );
-    for b in reps {
-        let mut row = vec![b.name().to_string()];
-        for mshrs in [1usize, 2, 4, 8, 16] {
-            let mut cfg = sim(b).line_buffer(true).mem_config();
-            cfg.l1.mshrs = mshrs;
-            row.push(fmt_f(run_with(cfg, b), 3));
-        }
-        t.push(row);
-    }
-    println!("{t}");
 
-    let mut t = Table::new(
-        "Ablation: store-buffer depth (32K duplicate 2~ cache, line buffer)",
-        &["benchmark", "1", "4", "16", "64"],
+    let g = grid(jobs, 5, |b, k| {
+        let mut cfg = sim(b).line_buffer(true).mem_config();
+        cfg.l1.mshrs = [1usize, 2, 4, 8, 16][k];
+        run_with(cfg, b)
+    });
+    println!(
+        "{}",
+        table(
+            "Ablation: MSHR count (32K duplicate 2~ cache, line buffer)",
+            &["benchmark", "1", "2", "4", "8", "16"],
+            &g,
+        )
     );
-    for b in reps {
-        let mut row = vec![b.name().to_string()];
-        for depth in [1usize, 4, 16, 64] {
-            let mut cfg = sim(b).line_buffer(true).mem_config();
-            cfg.store_buffer = depth;
-            row.push(fmt_f(run_with(cfg, b), 3));
-        }
-        t.push(row);
-    }
-    println!("{t}");
 
-    let mut t = Table::new(
-        "Ablation: external bank count (32K 1~ cache, line-interleaved)",
-        &["benchmark", "2 banks", "4 banks", "8 banks", "32 banks"],
+    let g = grid(jobs, 4, |b, k| {
+        let mut cfg = sim(b).line_buffer(true).mem_config();
+        cfg.store_buffer = [1usize, 4, 16, 64][k];
+        run_with(cfg, b)
+    });
+    println!(
+        "{}",
+        table(
+            "Ablation: store-buffer depth (32K duplicate 2~ cache, line buffer)",
+            &["benchmark", "1", "4", "16", "64"],
+            &g,
+        )
     );
-    for b in reps {
-        let mut row = vec![b.name().to_string()];
-        for banks in [2u32, 4, 8, 32] {
-            let ipc = sim(b).hit_cycles(1).ports(PortModel::Banked(banks)).run().ipc();
-            row.push(fmt_f(ipc, 3));
-        }
-        t.push(row);
-    }
-    println!("{t}");
+
+    let g = grid(jobs, 4, |b, k| {
+        sim(b).hit_cycles(1).ports(PortModel::Banked([2u32, 4, 8, 32][k])).run().ipc()
+    });
+    println!(
+        "{}",
+        table(
+            "Ablation: external bank count (32K 1~ cache, line-interleaved)",
+            &["benchmark", "2 banks", "4 banks", "8 banks", "32 banks"],
+            &g,
+        )
+    );
 
     let mut t = Table::new(
         "Ablation: workload ILP (dep_mean scale) vs pipelining loss (gcc, 2 ideal ports)",
         &["dep_mean scale", "IPC 1~", "IPC 3~", "loss"],
     );
-    for scale in [0.5f64, 1.0, 2.0] {
+    const SCALES: [f64; 3] = [0.5, 1.0, 2.0];
+    let ipcs = hbc_core::exec::run_cells(jobs, SCALES.len() * 2, |i| {
         let mut spec = Benchmark::Gcc.spec();
-        spec.dep_mean = (spec.dep_mean * scale).max(1.0);
-        let run = |hit| {
-            hbc_core::SimBuilder::new(Benchmark::Gcc)
-                .spec(spec.clone())
-                .cache_size_kib(32)
-                .hit_cycles(hit)
-                .ports(PortModel::Ideal(2))
-                .instructions(60_000)
-                .warmup(10_000)
-                .run()
-                .ipc()
-        };
-        let one = run(1);
-        let three = run(3);
+        spec.dep_mean = (spec.dep_mean * SCALES[i / 2]).max(1.0);
+        hbc_core::SimBuilder::new(Benchmark::Gcc)
+            .spec(spec)
+            .cache_size_kib(32)
+            .hit_cycles([1u64, 3][i % 2])
+            .ports(PortModel::Ideal(2))
+            .instructions(60_000)
+            .warmup(10_000)
+            .run()
+            .ipc()
+    });
+    for (si, scale) in SCALES.iter().enumerate() {
+        let (one, three) = (ipcs[si * 2], ipcs[si * 2 + 1]);
         t.push(vec![
             format!("{scale}x"),
             fmt_f(one, 3),
@@ -119,7 +134,7 @@ fn run_with(cfg: hbc_mem::MemConfig, b: Benchmark) -> f64 {
     let mut mem = MemSystem::new(cfg).expect("valid config");
     let mut gen = WorkloadGen::new(b, 42);
     for _ in 0..2_000_000u64 {
-        if let Some(a) = gen.next_inst().addr() {
+        if let Some(a) = gen.next_warm() {
             mem.warm_touch(a);
         }
     }

@@ -32,6 +32,7 @@ struct Run {
     ipc: f64,
     cycles: u64,
     host_mips: f64,
+    wall_s: f64,
     stall: hbc_core::StallBreakdown,
 }
 
@@ -56,29 +57,31 @@ fn main() {
         );
     }
 
-    let mut runs = Vec::new();
-    for &b in &params.benchmarks {
-        for (config, ports) in CONFIGS {
-            // Bare 32 KB 2-cycle organizations, as in Figures 4-5: no line
-            // buffer, so the port-structure contrasts stay visible.
-            let sim = params.sim(b).probes(true).cache_size_kib(32).hit_cycles(2).ports(ports);
-            let t0 = Instant::now();
-            let result = sim.run();
-            let elapsed = t0.elapsed().as_secs_f64();
-            let simulated = params.instructions + params.warmup;
-            runs.push(Run {
-                benchmark: b,
-                config,
-                ipc: result.ipc(),
-                cycles: result.run().cycles,
-                host_mips: simulated as f64 / 1e6 / elapsed.max(1e-9),
-                stall: result.run().stall,
-            });
+    let t_all = Instant::now();
+    let runs = params.run_cells(params.benchmarks.len() * CONFIGS.len(), |i| {
+        let b = params.benchmarks[i / CONFIGS.len()];
+        let (config, ports) = CONFIGS[i % CONFIGS.len()];
+        // Bare 32 KB 2-cycle organizations, as in Figures 4-5: no line
+        // buffer, so the port-structure contrasts stay visible.
+        let sim = params.sim(b).probes(true).cache_size_kib(32).hit_cycles(2).ports(ports);
+        let t0 = Instant::now();
+        let result = sim.run();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let simulated = params.instructions + params.warmup;
+        Run {
+            benchmark: b,
+            config,
+            ipc: result.ipc(),
+            cycles: result.run().cycles,
+            host_mips: simulated as f64 / 1e6 / wall_s.max(1e-9),
+            wall_s,
+            stall: result.run().stall,
         }
-    }
+    });
+    let wall_s = t_all.elapsed().as_secs_f64();
 
     if json {
-        println!("{}", to_json(&runs));
+        println!("{}", to_json(&runs, &params, wall_s));
     } else {
         for r in &runs {
             println!(
@@ -94,21 +97,31 @@ fn main() {
 }
 
 /// Renders the run list as one JSON document (no dependencies, so this is
-/// hand-rolled like `hbc-probe`'s own exporters).
-fn to_json(runs: &[Run]) -> String {
-    let mut out = String::from("{\"runs\":[");
+/// hand-rolled like `hbc-probe`'s own exporters). Host wall-clock fields
+/// (`wall_s`, `host_mips`, the aggregate block) vary run to run; everything
+/// else is deterministic.
+fn to_json(runs: &[Run], params: &hbc_core::ExpParams, wall_s: f64) -> String {
+    let simulated: u64 = (params.instructions + params.warmup) * runs.len() as u64;
+    let mut out = format!(
+        "{{\"jobs\":{},\"wall_s\":{:.6},\"sims_per_sec\":{:.3},\"agg_mips\":{:.3},\"runs\":[",
+        params.jobs,
+        wall_s,
+        runs.len() as f64 / wall_s.max(1e-9),
+        simulated as f64 / 1e6 / wall_s.max(1e-9),
+    );
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
             "{{\"benchmark\":\"{}\",\"config\":\"{}\",\"ipc\":{:.6},\"cycles\":{},\
-             \"host_mips\":{:.3},\"stall\":{{",
+             \"host_mips\":{:.3},\"wall_s\":{:.6},\"stall\":{{",
             r.benchmark.name(),
             r.config,
             r.ipc,
             r.cycles,
             r.host_mips,
+            r.wall_s,
         ));
         for (j, (cause, cycles)) in r.stall.iter().enumerate() {
             if j > 0 {

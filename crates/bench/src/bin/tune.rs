@@ -12,13 +12,14 @@
 //!    Figure 4 behaviour for that benchmark's group.
 //!
 //! ```text
-//! cargo run --release -p hbc-bench --bin tune
+//! cargo run --release -p hbc-bench --bin tune -- [--jobs N]
 //! ```
 
-use hbc_core::{miss_curve, Benchmark, SimBuilder};
+use hbc_core::{exec, miss_curve, Benchmark, SimBuilder};
 use hbc_mem::PortModel;
 
 fn main() {
+    let jobs = hbc_bench::jobs_from_args();
     let sizes: Vec<u64> = vec![4, 8, 16, 32, 64, 128, 256, 512, 1024];
     println!("misses per instruction (%) — functional, 400k instructions");
     print!("{:<10}", "bench");
@@ -26,8 +27,11 @@ fn main() {
         print!("{:>7}K", s);
     }
     println!();
-    for b in Benchmark::ALL {
-        let curve = miss_curve(b, &sizes, 400_000, 1);
+    // One cell per benchmark; curves come back in benchmark order.
+    let curves = exec::run_cells(jobs, Benchmark::ALL.len(), |i| {
+        miss_curve(Benchmark::ALL[i], &sizes, 400_000, 1)
+    });
+    for (b, curve) in Benchmark::ALL.iter().zip(&curves) {
         print!("{:<10}", b.name());
         for m in curve {
             print!("{:>7.2}%", m * 100.0);
@@ -36,31 +40,27 @@ fn main() {
     }
 
     println!("\nIPC (60k instr, 2 ideal ports, 1-cycle): 32K cache | 1M cache");
-    for b in Benchmark::ALL {
-        let r32 = SimBuilder::new(b)
-            .cache_size_kib(32)
-            .ports(PortModel::Ideal(2))
-            .instructions(60_000)
-            .warmup(10_000)
-            .run();
-        let r1m = SimBuilder::new(b)
-            .cache_size_kib(1024)
-            .ports(PortModel::Ideal(2))
-            .instructions(60_000)
-            .warmup(10_000)
-            .run();
+    let blocks = exec::run_cells(jobs, Benchmark::ALL.len(), |i| {
+        let b = Benchmark::ALL[i];
+        let baseline = |kib| {
+            SimBuilder::new(b)
+                .cache_size_kib(kib)
+                .ports(PortModel::Ideal(2))
+                .instructions(60_000)
+                .warmup(10_000)
+                .run()
+        };
+        let r32 = baseline(32);
+        let r1m = baseline(1024);
         let st = r1m.run();
-        println!(
-            "  {:<10} ipc32={:.3} ipc1M={:.3} | 1M: cyc={} fetch_stall={} rob_full={} lsq_full={} st_stall={} avg_ld={:.1}",
+        let m = r1m.mem();
+        format!(
+            "  {:<10} ipc32={:.3} ipc1M={:.3} | 1M: cyc={} fetch_stall={} rob_full={} lsq_full={} st_stall={} avg_ld={:.1}\n             l2 hit={} miss={} ({:.0}% miss)",
             b.name(), r32.ipc(), r1m.ipc(), st.cycles, st.fetch_stall_cycles,
             st.rob_full_cycles, st.lsq_full_cycles, st.store_stall_cycles,
-            st.avg_load_latency());
-        let m = r1m.mem();
-        println!(
-            "             l2 hit={} miss={} ({:.0}% miss)",
-            m.l2_hits,
-            m.l2_misses,
-            100.0 * m.l2_miss_ratio()
-        );
+            st.avg_load_latency(), m.l2_hits, m.l2_misses, 100.0 * m.l2_miss_ratio())
+    });
+    for block in blocks {
+        println!("{block}");
     }
 }

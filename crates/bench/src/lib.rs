@@ -10,6 +10,9 @@
 //!   next to the figure (full per-cycle data needs the `probe` feature);
 //! * `--trace-window N` — retain and dump the last N pipeline/cache events
 //!   of each probe run as JSON lines;
+//! * `--jobs N` — worker threads for the experiment sweeps (`0` or omitted:
+//!   available parallelism; `1`: serial). Results are bit-identical for
+//!   every value;
 //! * (default) — 60 K-instruction windows, all nine benchmarks.
 
 #![warn(missing_docs)]
@@ -53,15 +56,39 @@ pub fn params_from(args: impl IntoIterator<Item = String>) -> ExpParams {
                 params.trace_window =
                     v.parse().unwrap_or_else(|_| usage("--trace-window needs an integer"));
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                params.jobs = v.parse().unwrap_or_else(|_| usage("--jobs needs an integer"));
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
     params
 }
 
+/// Parses a lone `--jobs N` flag from `std::env::args`, for binaries that
+/// take no experiment preset (`tune`, `ablation`). Returns `0` (available
+/// parallelism) when absent; unknown flags abort with a usage message.
+pub fn jobs_from_args() -> usize {
+    let mut jobs = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                jobs = v.parse().unwrap_or_else(|_| usage("--jobs needs an integer"));
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    jobs
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--fast|--full] [--reps] [--seed N] [--probes] [--trace-window N]");
+    eprintln!(
+        "usage: <bin> [--fast|--full] [--reps] [--seed N] [--probes] [--trace-window N] [--jobs N]"
+    );
     std::process::exit(2);
 }
 
@@ -83,9 +110,21 @@ fn usage(msg: &str) -> ! {
 /// // No --probes flag: returns immediately without simulating.
 /// hbc_bench::emit_probes(&params, &[("base", &|s| s)]);
 /// ```
-pub fn emit_probes(params: &ExpParams, configs: &[(&str, &dyn Fn(SimBuilder) -> SimBuilder)]) {
+pub fn emit_probes(params: &ExpParams, configs: &[(&str, SimConfig<'_>)]) {
+    print!("{}", probe_report(params, configs));
+}
+
+/// A named simulator configuration hook, as taken by [`emit_probes`].
+pub type SimConfig<'a> = &'a (dyn Fn(SimBuilder) -> SimBuilder + Sync);
+
+/// Renders the [`emit_probes`] report to a string (empty unless `--probes`
+/// or `--trace-window` was requested). The benchmark × configuration runs
+/// go through the parallel execution engine; blocks are assembled in cell
+/// index order, so the report is identical at every `--jobs` value.
+pub fn probe_report(params: &ExpParams, configs: &[(&str, SimConfig<'_>)]) -> String {
+    use std::fmt::Write as _;
     if !params.probes && params.trace_window == 0 {
-        return;
+        return String::new();
     }
     if !cfg!(feature = "probe") {
         eprintln!(
@@ -93,22 +132,25 @@ pub fn emit_probes(params: &ExpParams, configs: &[(&str, &dyn Fn(SimBuilder) -> 
              empty (rebuild with `--features probe` for per-cycle data)"
         );
     }
-    for &b in &params.benchmarks {
-        for (label, configure) in configs {
-            let result = configure(params.sim(b).probes(true)).run();
-            println!("== probes: {} / {label} (ipc {:.3}) ==", b.name(), result.ipc());
-            if params.probes {
-                let reg = result.probes().expect("probes were enabled");
-                println!("{}", stall_table(&result.run().stall));
-                println!("{}", probe_table(reg));
-            }
-            if params.trace_window > 0 {
-                let trace = result.trace_jsonl().unwrap_or("");
-                println!("-- trace: last {} events --", trace.lines().count());
-                print!("{trace}");
-            }
+    let blocks = params.run_cells(params.benchmarks.len() * configs.len(), |i| {
+        let b = params.benchmarks[i / configs.len()];
+        let (label, configure) = &configs[i % configs.len()];
+        let result = configure(params.sim(b).probes(true)).run();
+        let mut out = String::new();
+        let _ = writeln!(out, "== probes: {} / {label} (ipc {:.3}) ==", b.name(), result.ipc());
+        if params.probes {
+            let reg = result.probes().expect("probes were enabled");
+            let _ = writeln!(out, "{}", stall_table(&result.run().stall));
+            let _ = writeln!(out, "{}", probe_table(reg));
         }
-    }
+        if params.trace_window > 0 {
+            let trace = result.trace_jsonl().unwrap_or("");
+            let _ = writeln!(out, "-- trace: last {} events --", trace.lines().count());
+            out.push_str(trace);
+        }
+        out
+    });
+    blocks.concat()
 }
 
 #[cfg(test)]

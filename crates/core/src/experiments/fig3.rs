@@ -27,8 +27,11 @@ pub fn run(params: &ExpParams) -> Table {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table =
         Table::new("Figure 3: misses per instruction vs primary cache size", &header_refs);
-    for &b in &params.benchmarks {
-        let curve = miss_curve(b, &sizes, params.instructions * 4, params.seed);
+    // One cell per benchmark, merged in benchmark order.
+    let curves = params.run_cells(params.benchmarks.len(), |i| {
+        miss_curve(params.benchmarks[i], &sizes, params.instructions * 4, params.seed)
+    });
+    for (&b, curve) in params.benchmarks.iter().zip(&curves) {
         let mut row = vec![b.name().to_string()];
         row.extend(curve.iter().map(|m| fmt_pct(*m)));
         table.push(row);

@@ -27,19 +27,24 @@ pub fn run(params: &ExpParams) -> Table {
         "Figure 4: IPC, ideal multi-cycle multi-ported 32K caches (fixed cycle time)",
         &["benchmark", "hit", "1 port", "2 ports", "3 ports", "4 ports"],
     );
+    // Fixed cell→index mapping: benchmark-major, then hit time, then ports.
+    let mut cells = Vec::new();
+    for &b in &params.benchmarks {
+        for hit in HITS {
+            for ports in PORTS {
+                cells.push((b, hit, ports));
+            }
+        }
+    }
+    let ipcs = params.run_cells(cells.len(), |i| {
+        let (b, hit, ports) = cells[i];
+        params.sim(b).cache_size_kib(32).hit_cycles(hit).ports(PortModel::Ideal(ports)).run().ipc()
+    });
+    let mut at = ipcs.iter();
     for &b in &params.benchmarks {
         for hit in HITS {
             let mut row = vec![b.name().to_string(), format!("{hit}~")];
-            for ports in PORTS {
-                let ipc = params
-                    .sim(b)
-                    .cache_size_kib(32)
-                    .hit_cycles(hit)
-                    .ports(PortModel::Ideal(ports))
-                    .run()
-                    .ipc();
-                row.push(fmt_f(ipc, 3));
-            }
+            row.extend(PORTS.iter().filter_map(|_| at.next()).map(|ipc| fmt_f(*ipc, 3)));
             table.push(row);
         }
     }

@@ -25,19 +25,24 @@ pub fn run(params: &ExpParams) -> Table {
         "Figure 5: IPC, 32K multi-cycle banked caches (fixed cycle time)",
         &["benchmark", "hit", "1 bank", "2 banks", "4 banks", "8 banks", "128 banks"],
     );
+    // Fixed cell→index mapping: benchmark-major, then hit time, then banks.
+    let mut cells = Vec::new();
+    for &b in &params.benchmarks {
+        for hit in super::fig4::HITS {
+            for banks in BANKS {
+                cells.push((b, hit, banks));
+            }
+        }
+    }
+    let ipcs = params.run_cells(cells.len(), |i| {
+        let (b, hit, banks) = cells[i];
+        params.sim(b).cache_size_kib(32).hit_cycles(hit).ports(PortModel::Banked(banks)).run().ipc()
+    });
+    let mut at = ipcs.iter();
     for &b in &params.benchmarks {
         for hit in super::fig4::HITS {
             let mut row = vec![b.name().to_string(), format!("{hit}~")];
-            for banks in BANKS {
-                let ipc = params
-                    .sim(b)
-                    .cache_size_kib(32)
-                    .hit_cycles(hit)
-                    .ports(PortModel::Banked(banks))
-                    .run()
-                    .ipc();
-                row.push(fmt_f(ipc, 3));
-            }
+            row.extend(BANKS.iter().filter_map(|_| at.next()).map(|ipc| fmt_f(*ipc, 3)));
             table.push(row);
         }
     }

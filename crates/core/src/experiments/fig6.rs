@@ -22,21 +22,28 @@ pub fn run(params: &ExpParams) -> Table {
         "Figure 6: IPC of 32K banked/duplicate caches with and without a line buffer",
         &["benchmark", "organization", "hit", "no LB", "LB", "gain"],
     );
+    const ORGS: [(&str, PortModel); 2] =
+        [("8-way banked", PortModel::Banked(8)), ("duplicate", PortModel::Duplicate)];
+    // One cell per (benchmark, organization, hit, line-buffer) point.
+    let mut cells = Vec::new();
     for &b in &params.benchmarks {
-        for (label, ports) in
-            [("8-way banked", PortModel::Banked(8)), ("duplicate", PortModel::Duplicate)]
-        {
+        for (_, ports) in ORGS {
             for hit in super::fig4::HITS {
-                let base =
-                    params.sim(b).cache_size_kib(32).hit_cycles(hit).ports(ports).run().ipc();
-                let with_lb = params
-                    .sim(b)
-                    .cache_size_kib(32)
-                    .hit_cycles(hit)
-                    .ports(ports)
-                    .line_buffer(true)
-                    .run()
-                    .ipc();
+                for lb in [false, true] {
+                    cells.push((b, ports, hit, lb));
+                }
+            }
+        }
+    }
+    let ipcs = params.run_cells(cells.len(), |i| {
+        let (b, ports, hit, lb) = cells[i];
+        params.sim(b).cache_size_kib(32).hit_cycles(hit).ports(ports).line_buffer(lb).run().ipc()
+    });
+    let mut at = ipcs.chunks_exact(2);
+    for &b in &params.benchmarks {
+        for (label, _) in ORGS {
+            for hit in super::fig4::HITS {
+                let Some(&[base, with_lb]) = at.next() else { continue };
                 table.push(vec![
                     b.name().to_string(),
                     label.to_string(),

@@ -22,10 +22,23 @@ pub fn run(params: &ExpParams) -> Table {
         "Figure 7: IPC, 4M on-chip DRAM cache with 16K row-buffer cache",
         &["benchmark", "DRAM hit", "no LB", "LB"],
     );
+    // One cell per (benchmark, DRAM hit, line-buffer) point.
+    let mut cells = Vec::new();
     for &b in &params.benchmarks {
         for hit in DRAM_HITS {
-            let base = params.sim(b).dram_cache(hit).run().ipc();
-            let with_lb = params.sim(b).dram_cache(hit).line_buffer(true).run().ipc();
+            for lb in [false, true] {
+                cells.push((b, hit, lb));
+            }
+        }
+    }
+    let ipcs = params.run_cells(cells.len(), |i| {
+        let (b, hit, lb) = cells[i];
+        params.sim(b).dram_cache(hit).line_buffer(lb).run().ipc()
+    });
+    let mut at = ipcs.chunks_exact(2);
+    for &b in &params.benchmarks {
+        for hit in DRAM_HITS {
+            let Some(&[base, with_lb]) = at.next() else { continue };
             table.push(vec![
                 b.name().to_string(),
                 format!("{hit}~"),

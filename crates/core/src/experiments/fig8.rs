@@ -64,24 +64,37 @@ pub fn run(params: &ExpParams) -> Table {
         format!("{}~ {org}", s.hit)
     };
 
-    // ipcs[series][benchmark][size]; the DRAM point is per benchmark.
+    // One cell per (benchmark, point): index bi * stride selects the
+    // benchmark, offset 0 is its DRAM-cache point, offsets 1.. are the
+    // (series, size) grid in series-major order.
     let all = series();
-    let mut avg: Vec<Vec<f64>> = vec![vec![0.0; sizes.len()]; all.len()];
-    let mut avg_dram = 0.0;
-    for &b in &params.benchmarks {
-        let dram = params.sim(b).dram_cache(6).line_buffer(true).run().ipc();
-        avg_dram += dram / params.benchmarks.len() as f64;
-        for (si, s) in all.iter().enumerate() {
-            let mut row = vec![b.name().to_string(), label(s)];
-            for (ki, &kib) in sizes.iter().enumerate() {
-                let ipc = params
+    let stride = 1 + all.len() * sizes.len();
+    let ipcs = params.run_cells(params.benchmarks.len() * stride, |i| {
+        let b = params.benchmarks[i / stride];
+        match (i % stride).checked_sub(1) {
+            None => params.sim(b).dram_cache(6).line_buffer(true).run().ipc(),
+            Some(j) => {
+                let s = &all[j / sizes.len()];
+                params
                     .sim(b)
-                    .cache_size_kib(kib)
+                    .cache_size_kib(sizes[j % sizes.len()])
                     .hit_cycles(s.hit)
                     .ports(s.ports)
                     .line_buffer(true)
                     .run()
-                    .ipc();
+                    .ipc()
+            }
+        }
+    });
+    let mut avg: Vec<Vec<f64>> = vec![vec![0.0; sizes.len()]; all.len()];
+    let mut avg_dram = 0.0;
+    for (bi, &b) in params.benchmarks.iter().enumerate() {
+        let dram = ipcs[bi * stride];
+        avg_dram += dram / params.benchmarks.len() as f64;
+        for (si, s) in all.iter().enumerate() {
+            let mut row = vec![b.name().to_string(), label(s)];
+            for ki in 0..sizes.len() {
+                let ipc = ipcs[bi * stride + 1 + si * sizes.len() + ki];
                 avg[si][ki] += ipc / params.benchmarks.len() as f64;
                 row.push(fmt_f(ipc, 3));
             }

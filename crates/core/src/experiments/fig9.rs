@@ -36,24 +36,40 @@ pub struct Fig9Point {
 pub fn curves(benchmark: Benchmark, params: &ExpParams) -> Vec<Fig9Point> {
     let model = AccessTimeModel::default();
     let tech = Technology::default();
-    let baseline = time_at(benchmark, params, Fo4::new(10.0), 3, CacheSize::from_kib(32), &tech);
-    let mut out = Vec::new();
+    // Cache selection is cheap; enumerate the sweep serially so every
+    // simulation cell has a fixed index before execution starts.
+    let mut pts = Vec::new();
     for &cycle in &CYCLE_TIMES {
         for depth in 1..=3u64 {
-            let cycle_fo4 = Fo4::new(cycle);
             let cache = pipeline::max_cache_size(
                 &model,
                 PortStructure::Duplicate,
-                cycle_fo4,
+                Fo4::new(cycle),
                 &tech,
                 depth as u32,
             );
-            let normalized_time =
-                cache.map(|c| time_at(benchmark, params, cycle_fo4, depth, c, &tech) / baseline);
-            out.push(Fig9Point { cycle_fo4: cycle, depth, cache, normalized_time });
+            pts.push((cycle, depth, cache));
         }
     }
-    out
+    // Cell 0 is the normalization baseline, cells 1.. the sweep points
+    // (unbuildable caches simulate nothing and yield `None`).
+    let times = params.run_cells(1 + pts.len(), |i| match i.checked_sub(1) {
+        None => Some(time_at(benchmark, params, Fo4::new(10.0), 3, CacheSize::from_kib(32), &tech)),
+        Some(j) => {
+            let (cycle, depth, cache) = pts[j];
+            cache.map(|c| time_at(benchmark, params, Fo4::new(cycle), depth, c, &tech))
+        }
+    });
+    let baseline = times[0].unwrap_or(f64::NAN);
+    pts.iter()
+        .zip(&times[1..])
+        .map(|(&(cycle_fo4, depth, cache), t)| Fig9Point {
+            cycle_fo4,
+            depth,
+            cache,
+            normalized_time: t.map(|t| t / baseline),
+        })
+        .collect()
 }
 
 fn time_at(

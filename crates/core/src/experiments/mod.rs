@@ -49,6 +49,10 @@ pub struct ExpParams {
     /// Retain the last N pipeline/cache events per run (`--trace-window`);
     /// zero disables tracing.
     pub trace_window: u64,
+    /// Worker threads for the experiment sweeps (`--jobs N`): `0` means
+    /// the host's available parallelism, `1` the serial path. Results are
+    /// bit-identical for every value — only wall-clock changes.
+    pub jobs: usize,
 }
 
 impl ExpParams {
@@ -62,6 +66,7 @@ impl ExpParams {
             benchmarks: Benchmark::ALL.to_vec(),
             probes: false,
             trace_window: 0,
+            jobs: 0,
         }
     }
 
@@ -86,6 +91,18 @@ impl ExpParams {
     pub fn representatives(mut self) -> Self {
         self.benchmarks = Benchmark::REPRESENTATIVES.to_vec();
         self
+    }
+
+    /// Runs `cells` independent experiment cells on this preset's worker
+    /// count ([`crate::exec::run_cells`] with `self.jobs`), returning the
+    /// results in index order. Every experiment driver routes its sweep
+    /// through here, so `--jobs` applies uniformly.
+    pub fn run_cells<T, F>(&self, cells: usize, cell: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        crate::exec::run_cells(self.jobs, cells, cell)
     }
 
     /// Builds a [`crate::SimBuilder`] carrying these parameters.

@@ -32,10 +32,13 @@ pub fn run(params: &ExpParams) -> Table {
             "stores(meas)",
         ],
     );
-    for &b in &params.benchmarks {
+    // One cell per benchmark: stream characterization is independent work.
+    let measured = params.run_cells(params.benchmarks.len(), |i| {
+        let mut gen = WorkloadGen::new(params.benchmarks[i], params.seed);
+        StreamStats::characterize(&mut gen, params.instructions * 4)
+    });
+    for (&b, stats) in params.benchmarks.iter().zip(&measured) {
         let spec = b.spec();
-        let mut gen = WorkloadGen::new(b, params.seed);
-        let stats = StreamStats::characterize(&mut gen, params.instructions * 4);
         table.push(vec![
             b.name().to_string(),
             fmt_f(spec.table2.kernel_pct, 1),

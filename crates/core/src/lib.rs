@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod exectime;
 pub mod experiments;
 mod misses;

@@ -44,9 +44,10 @@ pub fn misses_per_instruction(
     let mut gen = WorkloadGen::new(benchmark, seed);
     let warmup = instructions / 8;
     let mut misses = 0u64;
+    // Only addresses matter here; the warm fast path produces them with
+    // full draw parity, so the counts match a `next_inst` replay exactly.
     for i in 0..(warmup + instructions) {
-        let inst = gen.next_inst();
-        if let Some(addr) = inst.addr() {
+        if let Some(addr) = gen.next_warm() {
             let hit = cache.touch(addr);
             if !hit && i >= warmup {
                 misses += 1;

@@ -206,9 +206,12 @@ impl SimBuilder {
             None => WorkloadGen::new(self.benchmark, self.seed),
         };
         // Functional pre-warming: bring the hierarchy to the steady state a
-        // trace as long as the paper's would reach, then measure.
+        // trace as long as the paper's would reach, then measure. The warm
+        // fast path advances the generator with full draw parity while
+        // skipping instruction assembly, so the measured stream is the one
+        // `next_inst` alone would produce.
         for _ in 0..self.cache_warm {
-            if let Some(addr) = gen.next_inst().addr() {
+            if let Some(addr) = gen.next_warm() {
                 mem.warm_touch(addr);
             }
         }

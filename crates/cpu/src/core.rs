@@ -88,6 +88,19 @@ pub struct Core<I> {
     /// Cycle useful fetch resumes after a resolved misprediction.
     fetch_resume_at: u64,
     retired_total: u64,
+    /// Slots in [`Stage::Dispatched`] — lets the issue scan stop as soon as
+    /// every candidate has been considered.
+    n_dispatched: usize,
+    /// Slots in [`Stage::WaitingPort`] — lets the memory-access scan skip
+    /// cycles with no address-ready loads.
+    n_port_waiting: usize,
+    /// Slots in [`Stage::Executing`] or [`Stage::MemPending`].
+    n_busy: usize,
+    /// Earliest `done` cycle among busy slots (`u64::MAX` when none): the
+    /// stage-update scan is a no-op until then, so it is skipped. These
+    /// occupancy fields only prune scans that could not match — they never
+    /// change which transition happens on which cycle.
+    next_done: u64,
     /// Ring-buffer cycle tracer, when a trace window was requested.
     /// Events are recorded only in `probe` builds.
     tracer: Option<Tracer>,
@@ -116,6 +129,10 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             waiting_branch: None,
             fetch_resume_at: 0,
             retired_total: 0,
+            n_dispatched: 0,
+            n_port_waiting: 0,
+            n_busy: 0,
+            next_done: u64::MAX,
             tracer: None,
         })
     }
@@ -318,17 +335,56 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                 self.head
             );
         }
+        // The scan-pruning occupancy counters must agree with a recount, or
+        // a scan will skip a slot whose transition is due.
+        let count = |f: fn(&Stage) -> bool| self.rob.iter().filter(|s| f(&s.stage)).count();
+        assert!(
+            self.n_dispatched == count(|s| matches!(s, Stage::Dispatched)),
+            "sanitize: dispatched counter {} disagrees with the window",
+            self.n_dispatched
+        );
+        assert!(
+            self.n_port_waiting == count(|s| matches!(s, Stage::WaitingPort)),
+            "sanitize: waiting-port counter {} disagrees with the window",
+            self.n_port_waiting
+        );
+        assert!(
+            self.n_busy
+                == count(|s| matches!(s, Stage::Executing { .. } | Stage::MemPending { .. })),
+            "sanitize: busy counter {} disagrees with the window",
+            self.n_busy
+        );
+        let earliest = self
+            .rob
+            .iter()
+            .filter_map(|s| match s.stage {
+                Stage::Executing { done } | Stage::MemPending { done, .. } => Some(done),
+                _ => None,
+            })
+            .min();
+        assert!(
+            earliest.is_none_or(|e| self.next_done <= e),
+            "sanitize: next-done watermark {} is later than a busy slot at {:?}",
+            self.next_done,
+            earliest
+        );
     }
 
     /// Moves finished executions along and resolves waiting branches.
     fn update_stages(&mut self, now: u64) {
+        if self.n_busy == 0 || self.next_done > now {
+            return; // nothing can finish yet: the scan would be a no-op
+        }
+        let mut next_done = u64::MAX;
         let mut resolved: Option<(InstId, u64)> = None;
         for i in 0..self.rob.len() {
             match self.rob[i].stage {
                 Stage::Executing { done } if done <= now => {
+                    self.n_busy -= 1;
                     let inst = self.rob[i].inst;
                     if inst.op().is_load() {
                         self.rob[i].stage = Stage::WaitingPort;
+                        self.n_port_waiting += 1;
                     } else {
                         if inst.op().is_control() && inst.mispredicted() {
                             resolved = Some((inst.id(), done));
@@ -339,6 +395,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                     }
                 }
                 Stage::MemPending { done, .. } if done <= now => {
+                    self.n_busy -= 1;
                     self.rob[i].stage = Stage::Done { at: done };
                     #[cfg(feature = "probe")]
                     {
@@ -346,9 +403,13 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                         self.trace(TraceEvent::ExecDone { cycle: now, inst });
                     }
                 }
+                Stage::Executing { done } | Stage::MemPending { done, .. } => {
+                    next_done = next_done.min(done);
+                }
                 _ => {}
             }
         }
+        self.next_done = next_done;
         if let Some((id, done)) = resolved {
             if self.waiting_branch == Some(id) {
                 self.waiting_branch = None;
@@ -373,20 +434,28 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     /// issued this cycle.
     fn issue(&mut self, now: u64) -> u32 {
         let mut issued = 0;
+        // Scan only as far as the last dispatched slot: `remaining` counts
+        // the candidates left ahead, so the tail of the window is skipped.
+        let mut remaining = self.n_dispatched;
         for i in 0..self.rob.len() {
-            if issued == self.cfg.issue_width {
+            if remaining == 0 || issued == self.cfg.issue_width {
                 break;
             }
             if self.rob[i].stage != Stage::Dispatched {
                 continue;
             }
+            remaining -= 1;
             let inst = self.rob[i].inst;
             let ready = inst.srcs().iter().flatten().all(|s| self.src_ready(*s, now));
             if !ready {
                 continue;
             }
             let latency = u64::from(self.cfg.latencies.latency(inst.op()));
-            self.rob[i].stage = Stage::Executing { done: now + latency };
+            let done = now + latency;
+            self.rob[i].stage = Stage::Executing { done };
+            self.n_dispatched -= 1;
+            self.n_busy += 1;
+            self.next_done = self.next_done.min(done);
             issued += 1;
             #[cfg(feature = "probe")]
             self.trace(TraceEvent::Issue { cycle: now, inst: inst.id().get() });
@@ -401,23 +470,26 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
     /// bypass it to the ports that cycle — the conflict replays from the
     /// oldest denied load, as in bank-conflict replay schemes.
     fn access_memory(&mut self, now: u64) -> Option<RejectReason> {
+        let mut remaining = self.n_port_waiting;
         for i in 0..self.rob.len() {
+            if remaining == 0 {
+                break; // no address-ready loads left ahead
+            }
             if self.rob[i].stage != Stage::WaitingPort {
                 continue;
             }
+            remaining -= 1;
             let addr = self.rob[i].inst.addr().expect("loads carry addresses");
             #[cfg(feature = "probe")]
             let inst = self.rob[i].inst.id().get();
             match self.mem.try_load(addr) {
                 LoadResponse::LineBufferHit { complete_at } => {
-                    self.rob[i].stage =
-                        Stage::MemPending { done: complete_at.max(now + 1), miss: false };
+                    self.pend(i, complete_at.max(now + 1), false);
                     #[cfg(feature = "probe")]
                     self.trace(TraceEvent::LineBufferHit { cycle: now, inst, addr });
                 }
                 LoadResponse::Hit { complete_at } => {
-                    self.rob[i].stage =
-                        Stage::MemPending { done: complete_at.max(now + 1), miss: false };
+                    self.pend(i, complete_at.max(now + 1), false);
                     #[cfg(feature = "probe")]
                     {
                         let bank = self.bank_of(addr);
@@ -425,8 +497,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
                     }
                 }
                 LoadResponse::Miss { complete_at } => {
-                    self.rob[i].stage =
-                        Stage::MemPending { done: complete_at.max(now + 1), miss: true };
+                    self.pend(i, complete_at.max(now + 1), true);
                     #[cfg(feature = "probe")]
                     {
                         let bank = self.bank_of(addr);
@@ -449,6 +520,15 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             }
         }
         None
+    }
+
+    /// Marks the waiting-port load in slot `i` as accepted by the memory
+    /// system, maintaining the occupancy counters.
+    fn pend(&mut self, i: usize, done: u64, miss: bool) {
+        self.rob[i].stage = Stage::MemPending { done, miss };
+        self.n_port_waiting -= 1;
+        self.n_busy += 1;
+        self.next_done = self.next_done.min(done);
     }
 
     /// The cache bank `addr` maps to (zero for unbanked port models).
@@ -532,6 +612,7 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             }
             let mispredict = inst.op().is_control() && inst.mispredicted();
             self.rob.push_back(Slot { inst, dispatched_at: now, stage: Stage::Dispatched });
+            self.n_dispatched += 1;
             #[cfg(feature = "probe")]
             self.trace(TraceEvent::Fetch { cycle: now, inst: inst.id().get() });
             if mispredict {

@@ -20,11 +20,35 @@ pub struct CacheArray {
     assoc: u32,
     line_bytes: u64,
     sets: u64,
-    /// `tags[set * assoc + way]`: the cached line index, or `None`.
-    tags: Vec<Option<u64>>,
-    /// Per-way last-use stamps for LRU.
-    stamps: Vec<u64>,
+    /// `sets - 1`: the set count is a validated power of two, so indexing
+    /// is a mask rather than a hardware divide in the touch hot path.
+    set_mask: u64,
+    /// `ways[set * assoc + way]`: tag and LRU stamp interleaved so one
+    /// set's ways share cache lines. A megabyte-scale simulated cache has
+    /// megabytes of tag state; splitting tags and stamps into separate
+    /// arrays would cost two host cache misses per touch instead of one.
+    ways: Vec<Way>,
     clock: u64,
+}
+
+/// One cache way: the resident line index (or [`Way::INVALID`]) plus its
+/// last-use stamp.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    stamp: u64,
+}
+
+impl Way {
+    /// Sentinel for an empty way. Line indices are addresses shifted right
+    /// by the line-offset bits, so `u64::MAX` can never collide with one.
+    const INVALID: u64 = u64::MAX;
+
+    const EMPTY: Way = Way { tag: Way::INVALID, stamp: 0 };
+
+    fn line(&self) -> Option<u64> {
+        (self.tag != Way::INVALID).then_some(self.tag)
+    }
 }
 
 impl CacheArray {
@@ -47,8 +71,8 @@ impl CacheArray {
             assoc,
             line_bytes,
             sets,
-            tags: vec![None; (sets * u64::from(assoc)) as usize],
-            stamps: vec![0; (sets * u64::from(assoc)) as usize],
+            set_mask: sets - 1,
+            ways: vec![Way::EMPTY; (sets * u64::from(assoc)) as usize],
             clock: 0,
         }
     }
@@ -74,7 +98,7 @@ impl CacheArray {
     }
 
     fn set_of(&self, line: u64) -> u64 {
-        line % self.sets
+        line & self.set_mask
     }
 
     fn ways(&self, set: u64) -> std::ops::Range<usize> {
@@ -87,7 +111,7 @@ impl CacheArray {
     pub fn probe(&self, addr: u64) -> bool {
         let line = line_index(addr, self.line_bytes);
         let set = self.set_of(line);
-        self.ways(set).any(|w| self.tags[w] == Some(line))
+        self.ways(set).any(|w| self.ways[w].tag == line)
     }
 
     /// Accesses `addr`: on a hit, updates LRU and returns `true`; on a
@@ -105,8 +129,8 @@ impl CacheArray {
         let line = line_index(addr, self.line_bytes);
         let set = self.set_of(line);
         for w in self.ways(set) {
-            if self.tags[w] == Some(line) {
-                self.stamps[w] = self.clock;
+            if self.ways[w].tag == line {
+                self.ways[w].stamp = self.clock;
                 return TouchResult { hit: true, evicted: None };
             }
         }
@@ -116,15 +140,15 @@ impl CacheArray {
         let mut victim = (set * u64::from(self.assoc)) as usize;
         let mut victim_key = (u8::MAX, u64::MAX);
         for w in self.ways(set) {
-            let key = if self.tags[w].is_none() { (0, 0) } else { (1, self.stamps[w]) };
+            let key =
+                if self.ways[w].tag == Way::INVALID { (0, 0) } else { (1, self.ways[w].stamp) };
             if key < victim_key {
                 victim = w;
                 victim_key = key;
             }
         }
-        let evicted = self.tags[victim];
-        self.tags[victim] = Some(line);
-        self.stamps[victim] = self.clock;
+        let evicted = self.ways[victim].line();
+        self.ways[victim] = Way { tag: line, stamp: self.clock };
         TouchResult { hit: false, evicted }
     }
 
@@ -134,8 +158,8 @@ impl CacheArray {
         let line = line_index(addr, self.line_bytes);
         let set = self.set_of(line);
         for w in self.ways(set) {
-            if self.tags[w] == Some(line) {
-                self.tags[w] = None;
+            if self.ways[w].tag == line {
+                self.ways[w] = Way::EMPTY;
                 return true;
             }
         }
@@ -144,7 +168,7 @@ impl CacheArray {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> u64 {
-        self.tags.iter().filter(|t| t.is_some()).count() as u64
+        self.ways.iter().filter(|w| w.tag != Way::INVALID).count() as u64
     }
 }
 

@@ -97,6 +97,9 @@ pub struct MemSystem {
     mem_bus: Bus,
     now: u64,
     stats: MemStats,
+    /// Whether the line buffer holds whole L1 lines, so L1 evictions must
+    /// invalidate it (hoisted out of the per-eviction hot path).
+    lb_mirrors_l1: bool,
 }
 
 impl MemSystem {
@@ -124,6 +127,7 @@ impl MemSystem {
             mem_bus: Bus::new(cfg.mem_bus_bytes_per_cycle),
             now: 0,
             stats: MemStats::default(),
+            lb_mirrors_l1: cfg.l1.line_buffer.map(|c| c.line_bytes) == Some(cfg.l1.line_bytes),
             cfg,
         })
     }
@@ -347,10 +351,9 @@ impl MemSystem {
     /// the granularities coincide; the DRAM row cache's 512-byte rows span
     /// many 32-byte buffer entries and are left to LRU).
     fn invalidate_lb_line(&mut self, l1_line: u64) {
-        let l1_line_bytes = self.cfg.l1.line_bytes;
-        if let Some(lb) = &mut self.lb {
-            if self.cfg.l1.line_buffer.map(|c| c.line_bytes) == Some(l1_line_bytes) {
-                lb.invalidate(l1_line * l1_line_bytes);
+        if self.lb_mirrors_l1 {
+            if let Some(lb) = &mut self.lb {
+                lb.invalidate(l1_line * self.cfg.l1.line_bytes);
             }
         }
     }

@@ -24,9 +24,11 @@ use hbc_probe::saturating_count;
 pub struct LineBuffer {
     entries: usize,
     line_bytes: u64,
-    /// (line index, last-use stamp), unordered.
-    lines: Vec<(u64, u64)>,
-    clock: u64,
+    /// Resident line indices in recency order: LRU at the front, MRU at
+    /// the back. Per-entry use stamps would order entries identically
+    /// (stamps increase strictly), but the explicit order makes eviction a
+    /// front-removal instead of a second scan of the buffer.
+    lines: Vec<u64>,
     hits: u64,
     lookups: u64,
 }
@@ -40,14 +42,7 @@ impl LineBuffer {
     pub fn new(entries: usize, line_bytes: u64) -> Self {
         assert!(entries > 0, "line buffer needs at least one entry");
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        LineBuffer {
-            entries,
-            line_bytes,
-            lines: Vec::with_capacity(entries),
-            clock: 0,
-            hits: 0,
-            lookups: 0,
-        }
+        LineBuffer { entries, line_bytes, lines: Vec::with_capacity(entries), hits: 0, lookups: 0 }
     }
 
     /// Capacity in entries.
@@ -58,10 +53,9 @@ impl LineBuffer {
     /// Looks up `addr`; on a hit refreshes LRU and returns `true`.
     pub fn lookup(&mut self, addr: u64) -> bool {
         saturating_count(&mut self.lookups, 1);
-        self.clock += 1;
         let line = line_index(addr, self.line_bytes);
-        if let Some(e) = self.lines.iter_mut().find(|(l, _)| *l == line) {
-            e.1 = self.clock;
+        if let Some(i) = self.position(line) {
+            self.make_mru(i);
             saturating_count(&mut self.hits, 1);
             true
         } else {
@@ -69,40 +63,43 @@ impl LineBuffer {
         }
     }
 
+    /// The recency-list position of `line`, scanning MRU-first (temporal
+    /// locality means hits cluster at the recent end).
+    fn position(&self, line: u64) -> Option<usize> {
+        self.lines.iter().rposition(|l| *l == line)
+    }
+
+    /// Moves the entry at `i` to the MRU end, preserving the order of the
+    /// rest.
+    fn make_mru(&mut self, i: usize) {
+        let line = self.lines.remove(i);
+        self.lines.push(line);
+    }
+
     /// `true` if `addr`'s line is resident (no LRU update, no stats).
     pub fn probe(&self, addr: u64) -> bool {
-        let line = line_index(addr, self.line_bytes);
-        self.lines.iter().any(|(l, _)| *l == line)
+        self.position(line_index(addr, self.line_bytes)).is_some()
     }
 
     /// Inserts `addr`'s line (typically when load data returns from the
     /// cache), evicting the LRU entry if full.
     pub fn fill(&mut self, addr: u64) {
-        self.clock += 1;
         let line = line_index(addr, self.line_bytes);
-        if let Some(e) = self.lines.iter_mut().find(|(l, _)| *l == line) {
-            e.1 = self.clock;
+        if let Some(i) = self.position(line) {
+            self.make_mru(i);
             return;
         }
         if self.lines.len() == self.entries {
-            // Evict the LRU entry; a direct scan keeps this panic-free
-            // (capacity is validated non-zero, so the buffer is non-empty).
-            let mut lru = 0;
-            for (i, (_, stamp)) in self.lines.iter().enumerate() {
-                if *stamp < self.lines[lru].1 {
-                    lru = i;
-                }
-            }
-            self.lines.swap_remove(lru);
+            self.lines.remove(0); // the LRU entry is the front of the list
         }
-        self.lines.push((line, self.clock));
+        self.lines.push(line);
     }
 
     /// Removes `addr`'s line if present (store invalidation / L1 eviction).
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let line = line_index(addr, self.line_bytes);
-        if let Some(i) = self.lines.iter().position(|(l, _)| *l == line) {
-            self.lines.swap_remove(i);
+        if let Some(i) = self.position(line) {
+            self.lines.remove(i);
             true
         } else {
             false
@@ -122,7 +119,7 @@ impl LineBuffer {
     /// Sanitizer: the resident line indices (unordered).
     #[cfg(feature = "sanitize")]
     pub(crate) fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
-        self.lines.iter().map(|(l, _)| *l)
+        self.lines.iter().copied()
     }
 
     /// Sanitizer: entry size in bytes.
@@ -140,9 +137,9 @@ impl LineBuffer {
             self.lines.len(),
             self.entries
         );
-        for (i, (line, _)) in self.lines.iter().enumerate() {
+        for (i, line) in self.lines.iter().enumerate() {
             assert!(
-                !self.lines[..i].iter().any(|(l, _)| l == line),
+                !self.lines[..i].contains(line),
                 "sanitize: duplicate line-buffer entries for line {line}"
             );
         }

@@ -131,6 +131,34 @@ impl Gen {
     }
 }
 
+/// Asserts that `map` is injective over `domain`: no two inputs may
+/// produce the same output. The dedup table is built once per call here
+/// instead of ad hoc at every test site.
+///
+/// # Panics
+///
+/// Panics, naming both colliding inputs, if the map is not injective.
+pub fn assert_injective<I, K>(
+    name: &str,
+    domain: impl IntoIterator<Item = I>,
+    map: impl Fn(&I) -> K,
+) where
+    I: std::fmt::Debug,
+    K: Ord + std::fmt::Debug,
+{
+    let mut seen = std::collections::BTreeMap::new();
+    for input in domain {
+        match seen.entry(map(&input)) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                panic!("{name}: inputs {:?} and {input:?} collide at {:?}", e.get(), e.key())
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(input);
+            }
+        }
+    }
+}
+
 /// Runs `cases` deterministic cases of the property `f`; panics (failing
 /// the enclosing test) if any case panics, naming the case index.
 pub fn check(name: &str, cases: u32, f: impl Fn(&mut Gen)) {
@@ -205,6 +233,18 @@ mod tests {
     #[should_panic(expected = "failed on case")]
     fn failures_name_the_case() {
         check("always-fails", 4, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn injective_maps_pass() {
+        assert_injective("identity", 0..1000u64, |&x| x);
+        assert_injective("affine", 0..1000u64, |&x| x * 3 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "collide at")]
+    fn collisions_are_reported() {
+        assert_injective("mod-10", 0..100u64, |&x| x % 10);
     }
 
     #[test]

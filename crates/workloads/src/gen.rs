@@ -83,6 +83,11 @@ pub struct WorkloadGen {
     /// Ids of the most recent loads, the preferred producers for the
     /// load-use dependences that make timing sensitive to cache latency.
     recent_loads: VecDeque<InstId>,
+    /// `ln(1 - 1/dep_mean)`, hoisted out of the per-instruction geometric
+    /// samples (`None` when `dep_mean == 1.0`, which draws nothing).
+    dep_denom: Option<f64>,
+    /// `ln(1 - 1/MODE_RUN_LEN)` for the mode-burst length samples.
+    mode_denom: f64,
 }
 
 impl WorkloadGen {
@@ -109,6 +114,8 @@ impl WorkloadGen {
             .collect();
         let kernel = ProcState::new(&spec.kernel_mem, 1 << 45, &mut rng);
         let kernel_frac = spec.table2.kernel_frac();
+        let dep_denom = (spec.dep_mean > 1.0).then(|| crate::Rng::geometric_denom(spec.dep_mean));
+        let mode_denom = crate::Rng::geometric_denom(MODE_RUN_LEN as f64);
         WorkloadGen {
             spec,
             rng,
@@ -121,6 +128,8 @@ impl WorkloadGen {
             cur_mode: ExecMode::User,
             mode_run_left: 0,
             recent_loads: VecDeque::with_capacity(8),
+            dep_denom,
+            mode_denom,
         }
     }
 
@@ -133,7 +142,7 @@ impl WorkloadGen {
         if self.mode_run_left == 0 {
             self.cur_mode =
                 if self.rng.chance(self.kernel_frac) { ExecMode::Kernel } else { ExecMode::User };
-            self.mode_run_left = 1 + self.rng.geometric(MODE_RUN_LEN as f64);
+            self.mode_run_left = 1 + self.rng.geometric_with(self.mode_denom);
         }
         self.mode_run_left -= 1;
     }
@@ -173,7 +182,22 @@ impl WorkloadGen {
     }
 
     fn dep_src(&mut self, id: InstId) -> Option<InstId> {
-        id.back(self.rng.geometric(self.spec.dep_mean))
+        // `geometric(1.0)` is the drawless constant 1; otherwise sample
+        // through the cached denominator (bit-identical to `geometric`).
+        let distance = match self.dep_denom {
+            None => 1,
+            Some(denom) => self.rng.geometric_with(denom),
+        };
+        id.back(distance)
+    }
+
+    /// Draw-parity stand-in for [`WorkloadGen::dep_src`] when the sampled
+    /// producer is discarded (warm-up): consumes the identical randomness
+    /// without the two `ln` calls.
+    fn skip_dep_src(&mut self) {
+        if self.dep_denom.is_some() {
+            let _ = self.rng.next_u64();
+        }
     }
 
     /// Samples a source operand: a recent load with probability
@@ -190,6 +214,34 @@ impl WorkloadGen {
             return Some(self.recent_loads[i]);
         }
         self.dep_src(id)
+    }
+
+    /// Draw-parity stand-in for [`WorkloadGen::value_src`] when the result
+    /// is discarded: the `&&` short-circuit and the branch on the first
+    /// draw are replicated exactly, because both gate further draws.
+    fn skip_value_src(&mut self) {
+        if !self.recent_loads.is_empty() && self.rng.chance(self.spec.load_use_prob) {
+            if !self.rng.chance(0.7) {
+                let _ = self.rng.below(self.recent_loads.len() as u64);
+            }
+        } else {
+            self.skip_dep_src();
+        }
+    }
+
+    /// Draw-parity stand-in for [`WorkloadGen::sample_compute_op`]: every
+    /// chance gates the next, so the full tree is walked with the sampled
+    /// opcode discarded.
+    fn skip_compute_op(&mut self) {
+        if self.rng.chance(self.spec.fp_frac) {
+            if self.rng.chance(self.spec.fp_long_frac) {
+                let _ = self.rng.chance(0.15);
+            } else {
+                let _ = self.rng.chance(0.5);
+            }
+        } else if self.rng.chance(self.spec.int_long_frac) {
+            let _ = self.rng.chance(0.1);
+        }
     }
 
     fn note_load(&mut self, id: InstId) {
@@ -291,6 +343,78 @@ impl WorkloadGen {
             inst
         }
     }
+
+    /// The warm-up fast path: advances the generator by exactly one
+    /// instruction — identical RNG draws, ids, mode/process/pattern
+    /// cursors, `recent_loads` and chase state as [`WorkloadGen::next_inst`]
+    /// — and returns only the memory address (`None` for non-memory
+    /// instructions), skipping the [`DynInst`] assembly and the discarded
+    /// dependency-distance logarithms.
+    ///
+    /// Interleaving `next_warm` and `next_inst` in any order yields the
+    /// same stream as calling `next_inst` alone: functional cache warming
+    /// can run here without perturbing the measured phase.
+    pub fn next_warm(&mut self) -> Option<u64> {
+        self.advance_mode();
+        self.advance_process();
+        let id = InstId::new(self.next_id);
+        self.next_id += 1;
+        let mode = self.cur_mode;
+
+        let u = self.rng.next_f64() * 100.0;
+        let load_cut = self.spec.table2.load_pct;
+        let store_cut = load_cut + self.spec.table2.store_pct;
+        let branch_cut = store_cut + self.spec.branch_frac * 100.0;
+
+        let state_idx = if mode == ExecMode::Kernel { None } else { Some(self.cur_proc) };
+
+        if u < store_cut {
+            let (addr, dependent) = {
+                let rng = &mut self.rng;
+                let state = match state_idx {
+                    None => &mut self.kernel,
+                    Some(p) => &mut self.procs[p],
+                };
+                let idx = state.pick(rng);
+                let dependent = state.patterns[idx].spec().is_dependent();
+                let addr = state.patterns[idx].next_addr(rng);
+                (addr, dependent)
+            };
+            let is_load = u < load_cut;
+            if is_load {
+                self.note_load(id);
+            }
+            if is_load && dependent {
+                let state = match state_idx {
+                    None => &mut self.kernel,
+                    Some(p) => &mut self.procs[p],
+                };
+                state.last_chase = Some(id);
+            } else {
+                self.skip_dep_src();
+                if !is_load {
+                    self.skip_value_src();
+                }
+            }
+            Some(addr)
+        } else if u < branch_cut {
+            if self.rng.chance(JUMP_FRAC) {
+                let _ = self.rng.chance(JUMP_MISPREDICT);
+            } else {
+                let _ = self.rng.chance(self.spec.taken_frac);
+                let _ = self.rng.chance(1.0 - self.spec.branch_accuracy);
+            }
+            self.skip_value_src();
+            None
+        } else {
+            self.skip_compute_op();
+            self.skip_value_src();
+            if self.rng.chance(self.spec.two_src_prob) {
+                self.skip_dep_src();
+            }
+            None
+        }
+    }
 }
 
 impl Iterator for WorkloadGen {
@@ -310,6 +434,23 @@ mod tests {
         let gen = WorkloadGen::new(Benchmark::Li, 3);
         for (i, inst) in gen.take(500).enumerate() {
             assert_eq!(inst.id().get(), i as u64);
+        }
+    }
+
+    #[test]
+    fn warm_path_keeps_full_parity() {
+        for bench in [Benchmark::Gcc, Benchmark::Li, Benchmark::Tomcatv, Benchmark::Database] {
+            let mut fast = WorkloadGen::new(bench, 9);
+            let mut slow = WorkloadGen::new(bench, 9);
+            // Same addresses in the warm phase...
+            for i in 0..20_000 {
+                assert_eq!(fast.next_warm(), slow.next_inst().addr(), "{bench} diverged at {i}");
+            }
+            // ...and identical instructions (ids, sources, chase state,
+            // recent-load seeding) ever after.
+            for i in 0..5_000 {
+                assert_eq!(fast.next_inst(), slow.next_inst(), "{bench} tail diverged at {i}");
+            }
         }
     }
 

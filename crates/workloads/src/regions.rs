@@ -54,12 +54,27 @@ const HOT_BLOCK: u64 = 64;
 /// penalty the paper observes for its long lines.
 const DISPERSAL: u64 = 320;
 
+/// The dispersed span of an irregular region: `footprint` grows by the
+/// `DISPERSAL / HOT_BLOCK` occupancy ratio (5x). Computed once per
+/// [`PatternState`] — not per reference — and shared with the tests.
+fn dispersal_span(footprint: u64) -> u64 {
+    (footprint * (DISPERSAL / HOT_BLOCK)).max(DISPERSAL)
+}
+
 /// Maps a dense logical offset of an irregular region to its dispersed
-/// offset (bijective over the region's hot blocks; the span grows 5x).
-fn disperse(offset: u64, footprint: u64) -> u64 {
+/// offset (bijective over the region's hot blocks), given the region's
+/// precomputed [`dispersal_span`].
+fn disperse(offset: u64, span: u64) -> u64 {
     let block = offset / HOT_BLOCK;
     let within = offset % HOT_BLOCK;
-    (block * DISPERSAL + within) % (footprint * (DISPERSAL / HOT_BLOCK)).max(DISPERSAL)
+    // Equivalent to `% span` (offsets stay below the footprint, so the
+    // product barely exceeds the span) without the per-reference hardware
+    // divide; the loop runs at most once for any footprint >= HOT_BLOCK.
+    let mut at = block * DISPERSAL + within;
+    while at >= span {
+        at -= span;
+    }
+    at
 }
 
 /// Specification of one reference pattern (footprints in bytes).
@@ -123,6 +138,9 @@ pub(crate) struct PatternState {
     /// pointer (chase).
     cursors: Vec<u64>,
     next_stream: usize,
+    /// Precomputed [`dispersal_span`] of the footprint (irregular
+    /// patterns reference it on every address).
+    span: u64,
 }
 
 impl PatternState {
@@ -139,7 +157,7 @@ impl PatternState {
             PatternSpec::Chase { footprint } => vec![rng.below(footprint.max(8)) & !7],
             PatternSpec::Random { footprint, .. } => vec![rng.below(footprint.max(8)) & !7],
         };
-        PatternState { spec, base, cursors, next_stream: 0 }
+        PatternState { spec, base, cursors, next_stream: 0, span: dispersal_span(spec.footprint()) }
     }
 
     pub(crate) fn spec(&self) -> PatternSpec {
@@ -154,7 +172,11 @@ impl PatternState {
                 let i = self.next_stream;
                 self.next_stream = (self.next_stream + 1) % streams;
                 let at = self.cursors[i];
-                self.cursors[i] = (at + stride) % footprint.max(stride);
+                // `cursor < wrap` and `stride <= wrap` always hold, so the
+                // wrap is one conditional subtract, not a hardware divide.
+                let wrap = footprint.max(stride);
+                let next = at + stride;
+                self.cursors[i] = if next >= wrap { next - wrap } else { next };
                 scatter(self.base, at & !7)
             }
             PatternSpec::Random { footprint, reuse } => {
@@ -165,7 +187,7 @@ impl PatternState {
                 } else {
                     *pos = rng.below(footprint.max(8)) & !7;
                 }
-                scatter(self.base, disperse(*pos, footprint))
+                scatter(self.base, disperse(*pos, self.span))
             }
             PatternSpec::Stack { footprint } => {
                 // Short random walk: mostly re-touch the same few lines,
@@ -186,7 +208,7 @@ impl PatternState {
             PatternSpec::Chase { footprint } => {
                 let next = rng.below(footprint.max(8)) & !7;
                 self.cursors[0] = next;
-                scatter(self.base, disperse(next, footprint))
+                scatter(self.base, disperse(next, self.span))
             }
         }
     }
@@ -244,13 +266,10 @@ mod tests {
     fn dispersal_keeps_distinct_lines_distinct() {
         // The hot-block dispersal is a bijection: two logical lines never
         // collapse onto one physical line.
-        let mut seen = std::collections::BTreeMap::new();
-        for logical_line in 0..128u64 {
-            let phys = super::disperse(logical_line * 32, 4096) / 32;
-            if let Some(prev) = seen.insert(phys, logical_line) {
-                panic!("lines {prev} and {logical_line} collide at {phys}");
-            }
-        }
+        let span = super::dispersal_span(4096);
+        hbc_ptest::assert_injective("hot-block dispersal", 0..128u64, |&logical_line| {
+            super::disperse(logical_line * 32, span) / 32
+        });
     }
 
     #[test]

@@ -89,6 +89,36 @@ impl Rng {
         (u.ln() / (1.0 - p).ln()).floor() as u64 + 1
     }
 
+    /// The precomputed log-denominator `ln(1 - 1/mean)` for
+    /// [`Rng::geometric_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not greater than one (`mean == 1.0` draws
+    /// nothing in [`Rng::geometric`], so there is no denominator to cache).
+    pub fn geometric_denom(mean: f64) -> f64 {
+        assert!(mean > 1.0, "geometric denominator needs mean > 1");
+        let p = 1.0 / mean;
+        (1.0 - p).ln()
+    }
+
+    /// [`Rng::geometric`] with the `ln(1 - p)` denominator hoisted out:
+    /// bit-identical samples from the identical single draw, minus one
+    /// `ln` per call on hot paths that sample the same mean repeatedly.
+    pub fn geometric_with(&mut self, denom: f64) -> u64 {
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / denom).floor() as u64 + 1
+    }
+
+    /// Consumes exactly the randomness of [`Rng::geometric`] without
+    /// computing the sample (two `ln` calls): fast paths that discard the
+    /// value keep draw parity with the full path at a fraction of the cost.
+    pub fn skip_geometric(&mut self, mean: f64) {
+        if mean != 1.0 {
+            let _ = self.next_u64();
+        }
+    }
+
     /// Splits off an independent generator (for per-component streams).
     pub fn split(&mut self) -> Rng {
         Rng::new(self.next_u64())
@@ -152,6 +182,28 @@ mod tests {
         let mean = sum as f64 / n as f64;
         assert!((mean - 5.0).abs() < 0.15, "observed mean {mean}");
         assert!((0..1000).all(|_| r.geometric(1.0) == 1));
+    }
+
+    #[test]
+    fn geometric_with_matches_geometric() {
+        let mut a = Rng::new(17);
+        let mut b = Rng::new(17);
+        let denom = Rng::geometric_denom(6.5);
+        for _ in 0..10_000 {
+            assert_eq!(a.geometric(6.5), b.geometric_with(denom));
+        }
+        assert_eq!(a, b, "identical draw counts leave identical state");
+    }
+
+    #[test]
+    fn skip_geometric_keeps_draw_parity() {
+        let mut a = Rng::new(23);
+        let mut b = Rng::new(23);
+        for mean in [1.0, 2.0, 40.0] {
+            let _ = a.geometric(mean);
+            b.skip_geometric(mean);
+            assert_eq!(a, b, "mean {mean} desynchronized the streams");
+        }
     }
 
     #[test]
