@@ -1,0 +1,31 @@
+// Fixture: the typed-error discipline passes — every socket and
+// filesystem operation propagates `io::Error`/`HttpError` instead of
+// unwrapping, and the one audited exception is annotated.
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+pub fn serve_one(listener: &TcpListener) -> io::Result<()> {
+    let (mut stream, _) = listener.accept()?;
+    let mut buf = [0u8; 512];
+    let n = stream.read(&mut buf)?;
+    stream.write_all(&buf[..n])?;
+    stream.flush()?;
+    Ok(())
+}
+
+pub fn persist(path: &std::path::Path, body: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+pub fn fixture_port(listener: &TcpListener) -> u16 {
+    // hbc-allow: serve-io-panic (loopback listener in a dev-only helper)
+    listener.local_addr().unwrap().port()
+}
+
+// Parsing is not I/O: a bare unwrap here is the `panic` rule's business,
+// not this rule's.
+pub fn parse_status(text: &str) -> u16 {
+    text.parse().unwrap()
+}

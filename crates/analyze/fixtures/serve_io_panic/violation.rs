@@ -1,0 +1,20 @@
+// Fixture: bare unwrap/expect on socket and filesystem operations must
+// fire — each of these turns an expected runtime condition (peer reset,
+// full disk, missing cache entry) into a dead server.
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+pub fn serve_one(listener: &TcpListener) {
+    let (mut stream, _) = listener.accept().unwrap();
+    let mut buf = [0u8; 512];
+    let n = stream.read(&mut buf).expect("peer sent a request");
+    stream.write_all(&buf[..n]).unwrap();
+}
+
+pub fn connect(addr: &str) -> TcpStream {
+    TcpStream::connect(addr).expect("server is up")
+}
+
+pub fn persist(path: &std::path::Path, body: &[u8]) {
+    std::fs::write(path, body).unwrap();
+}

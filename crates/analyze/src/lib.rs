@@ -2,7 +2,7 @@
 //!
 //! The simulator's core contract — every simulation is a pure function of
 //! (configuration, seed) — is not something the compiler checks. This crate
-//! does, with six rules over the workspace source:
+//! does, with seven rules over the workspace source:
 //!
 //! * [`rules::determinism`] — no nondeterministically ordered collections,
 //!   wall clocks, or ambient RNGs in simulation-state crates;
@@ -13,12 +13,15 @@
 //!   nanosecond / cycle newtypes, not raw `f64`/`u64`;
 //! * [`rules::config_validate`] — every `*Config` struct has a `validate()`
 //!   and the crate actually calls validation somewhere;
-//! * [`rules::panic_path`] — `unwrap`/`expect`/`panic!` in non-test
-//!   simulator code is gated against a checked-in baseline that may only
+//! * [`rules::panic_path`] — `unwrap`/`expect`/`panic!` in non-test code of
+//!   the gated crates is held to a checked-in baseline that may only
 //!   shrink;
 //! * [`rules::probe_naming`] — literal probe names registered on the
 //!   `hbc-probe` registry are hierarchical dotted lowercase and globally
-//!   unique.
+//!   unique;
+//! * [`rules::serve_io_panic`] — in `hbc-serve`, no bare `unwrap`/`expect`
+//!   on socket or filesystem operations: a long-lived server must turn I/O
+//!   failures into typed errors, never aborts.
 //!
 //! Audited exceptions are written in the source as `// hbc-allow: <rule>`
 //! (same line or the line above) or `// hbc-allow-file: <rule>` for a whole
@@ -64,6 +67,22 @@ impl fmt::Display for Finding {
 pub const SIM_CRATES: &[&str] =
     &["hbc-timing", "hbc-isa", "hbc-workloads", "hbc-mem", "hbc-cpu", "hbc-core", "hbc-probe"];
 
+/// Crates gated by the panic-path baseline: the simulation crates plus the
+/// long-lived / user-facing processes (`hbc-bench` binaries, the `hbc-serve`
+/// service), where an `unwrap` turns a bad input or full disk into an abort.
+/// `hbc-ptest` and this crate stay exempt (test harness and dev tool).
+pub const PANIC_CRATES: &[&str] = &[
+    "hbc-timing",
+    "hbc-isa",
+    "hbc-workloads",
+    "hbc-mem",
+    "hbc-cpu",
+    "hbc-core",
+    "hbc-probe",
+    "hbc-bench",
+    "hbc-serve",
+];
+
 /// Runs every rule over `files`; findings are sorted by path and line.
 pub fn run_all(
     files: &[source::SourceFile],
@@ -76,6 +95,7 @@ pub fn run_all(
     findings.extend(rules::config_validate::check(files));
     findings.extend(rules::panic_path::check(files, baseline));
     findings.extend(rules::probe_naming::check(files));
+    findings.extend(rules::serve_io_panic::check(files));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     findings
 }

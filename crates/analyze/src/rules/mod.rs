@@ -1,8 +1,9 @@
-//! The six analysis rules.
+//! The seven analysis rules.
 
 pub mod config_validate;
 pub mod determinism;
 pub mod exec_merge;
 pub mod panic_path;
 pub mod probe_naming;
+pub mod serve_io_panic;
 pub mod units;

@@ -1,14 +1,17 @@
 //! Rule `panic`: the number of `unwrap()` / `expect()` / `panic!` sites in
-//! non-test simulator code is gated against a checked-in baseline.
+//! non-test code of the gated crates ([`crate::PANIC_CRATES`]) is held to a
+//! checked-in baseline.
 //!
 //! Panics in `hbc-mem`/`hbc-cpu` hot paths turn a bad configuration or a
-//! modelling bug into an abort instead of an error the caller can report.
-//! Existing sites are grandfathered in `crates/analyze/panic_baseline.txt`;
-//! the count per crate may only go down. Regenerate the baseline after a
-//! genuine reduction with `cargo run -p hbc-analyze -- baseline`.
+//! modelling bug into an abort instead of an error the caller can report;
+//! in the `hbc-bench` binaries and the `hbc-serve` service they turn a full
+//! disk or a bad request into a dead process. Existing sites are
+//! grandfathered in `crates/analyze/panic_baseline.txt`; the count per
+//! crate may only go down. Regenerate the baseline after a genuine
+//! reduction with `cargo run -p hbc-analyze -- baseline`.
 
 use crate::source::{tokens, SourceFile};
-use crate::{Finding, SIM_CRATES};
+use crate::{Finding, PANIC_CRATES};
 use std::collections::BTreeMap;
 
 /// Per-crate allowed panic-site counts, parsed from `panic_baseline.txt`.
@@ -54,17 +57,17 @@ impl Baseline {
     }
 }
 
-/// Counts panic sites per simulation crate, skipping test code and
+/// Counts panic sites per gated crate, skipping test code and
 /// `hbc-allow: panic` lines. Returns (crate → count) plus each site for
 /// reporting.
 pub fn count_sites(files: &[SourceFile]) -> (BTreeMap<String, usize>, Vec<Finding>) {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut sites = Vec::new();
-    for crate_name in SIM_CRATES {
+    for crate_name in PANIC_CRATES {
         counts.insert(crate_name.to_string(), 0);
     }
     for file in files {
-        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+        if !PANIC_CRATES.contains(&file.crate_name.as_str()) {
             continue;
         }
         for (idx, line) in file.lines.iter().enumerate() {

@@ -1,0 +1,176 @@
+//! Rule `serve-io-panic`: in `hbc-serve`, no bare `unwrap()` / `expect()`
+//! on socket or filesystem operations.
+//!
+//! The service is a long-lived process handling untrusted input over real
+//! sockets: a peer that resets a connection, a full disk, or a dropped
+//! cache file are *expected* conditions, and an `unwrap` on any of them
+//! kills a worker (or the whole server) instead of producing a `4xx`/`5xx`
+//! response or a degraded cache. The crate's contract is typed errors
+//! everywhere I/O can fail (`HttpError`, `io::Result`); this rule enforces
+//! it mechanically.
+//!
+//! Unlike the `panic` rule (a shrinking per-crate budget over all panic
+//! sites), this one has no grandfathered baseline: a hit on an I/O line is
+//! always a finding. The scan is per line: an `unwrap`/`expect` call fires
+//! when an I/O identifier (socket types, socket/file verbs, `fs`/`File`
+//! operations) appears in the same statement line. Audited exceptions use
+//! `// hbc-allow: serve-io-panic`.
+
+use crate::source::{tokens, SourceFile};
+use crate::Finding;
+
+/// Identifier tokens that mark a line as touching socket or filesystem
+/// I/O. Types and verbs both count: `TcpStream::connect(..).unwrap()` and
+/// `stream.read(..).unwrap()` are equally fatal in a server.
+const IO_TOKENS: &[&str] = &[
+    // Socket types and operations.
+    "TcpListener",
+    "TcpStream",
+    "SocketAddr",
+    "accept",
+    "bind",
+    "connect",
+    "connect_timeout",
+    "incoming",
+    "local_addr",
+    "peer_addr",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nodelay",
+    "shutdown",
+    // Stream verbs (Read/Write traits).
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "flush",
+    // Filesystem.
+    "fs",
+    "File",
+    "OpenOptions",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "rename",
+    "metadata",
+    "canonicalize",
+];
+
+/// Scans `hbc-serve` non-test lines for `unwrap`/`expect` calls sharing a
+/// line with an I/O identifier.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if file.crate_name != "hbc-serve" {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.is_test || file.allowed(lineno, "serve-io-panic") {
+                continue;
+            }
+            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
+            let touches_io = toks.iter().any(|(_, t)| IO_TOKENS.contains(t));
+            if !touches_io {
+                continue;
+            }
+            for (pos, tok) in &toks {
+                let bare_panic = matches!(*tok, "unwrap" | "expect")
+                    && line.code[pos + tok.len()..].trim_start().starts_with('(');
+                if bare_panic {
+                    findings.push(Finding {
+                        rule: "serve-io-panic",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "`{tok}` on a socket/filesystem operation in hbc-serve — return a \
+                             typed error (`HttpError`, `io::Result`) so the server degrades \
+                             instead of dying"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn serve_file(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("f.rs"), "hbc-serve", text, false)
+    }
+
+    #[test]
+    fn unwrap_on_socket_ops_fires() {
+        let f = serve_file(
+            "fn f() {\n    let l = TcpListener::bind(addr).unwrap();\n    \
+             stream.read_exact(&mut buf).expect(\"io\");\n}\n",
+        );
+        let findings = check(std::slice::from_ref(&f));
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("typed error"));
+    }
+
+    #[test]
+    fn unwrap_on_fs_ops_fires() {
+        let f = serve_file("fn f() {\n    std::fs::rename(&tmp, &path).unwrap();\n}\n");
+        assert_eq!(check(std::slice::from_ref(&f)).len(), 1);
+    }
+
+    #[test]
+    fn non_io_unwrap_is_left_to_the_panic_rule() {
+        let f = serve_file("fn f() {\n    let n = text.parse::<u64>().unwrap();\n}\n");
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn typed_error_handling_passes() {
+        let f = serve_file(
+            "fn f() -> io::Result<()> {\n    let l = TcpListener::bind(addr)?;\n    \
+             stream.write_all(b\"x\").map_err(HttpError::Io)?;\n    Ok(())\n}\n",
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn tests_and_other_crates_are_exempt() {
+        let in_tests = SourceFile::parse(
+            PathBuf::from("tests/t.rs"),
+            "hbc-serve",
+            "fn t() { TcpStream::connect(a).unwrap(); }\n",
+            true,
+        );
+        assert!(check(std::slice::from_ref(&in_tests)).is_empty());
+        let other_crate = SourceFile::parse(
+            PathBuf::from("f.rs"),
+            "hbc-bench",
+            "fn f() { std::fs::write(p, b).unwrap(); }\n",
+            false,
+        );
+        assert!(check(std::slice::from_ref(&other_crate)).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_is_honored() {
+        let f = serve_file(
+            "fn f() {\n    // hbc-allow: serve-io-panic (test-only helper)\n    \
+             listener.accept().unwrap();\n}\n",
+        );
+        assert!(check(std::slice::from_ref(&f)).is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/serve_io_panic");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!check(&[serve_file(&bad)]).is_empty());
+        assert!(check(&[serve_file(&ok)]).is_empty());
+    }
+}

@@ -131,14 +131,21 @@ fn run_with(cfg: hbc_mem::MemConfig, b: Benchmark) -> f64 {
     use hbc_cpu::{Core, CpuConfig};
     use hbc_mem::MemSystem;
     use hbc_workloads::WorkloadGen;
-    let mut mem = MemSystem::new(cfg).expect("valid config");
+    let mut mem = MemSystem::new(cfg)
+        .unwrap_or_else(|e| die(&format!("ablation memory config rejected: {e}")));
     let mut gen = WorkloadGen::new(b, 42);
     for _ in 0..2_000_000u64 {
         if let Some(a) = gen.next_warm() {
             mem.warm_touch(a);
         }
     }
-    let mut core = Core::new(CpuConfig::paper(), mem, gen).expect("valid cpu");
+    let mut core = Core::new(CpuConfig::paper(), mem, gen)
+        .unwrap_or_else(|e| die(&format!("ablation cpu config rejected: {e}")));
     core.run(10_000);
     core.run(60_000).ipc()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }

@@ -5,8 +5,17 @@ use std::fs;
 use std::time::Instant;
 
 fn main() {
+    if let Err(e) = run() {
+        // A read-only or full disk should name the failure, not abort with
+        // a panic backtrace mid-regeneration.
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> std::io::Result<()> {
     let params = hbc_bench::params_from_args();
-    fs::create_dir_all("results").expect("create results directory");
+    fs::create_dir_all("results")?;
     type Item = (&'static str, Box<dyn Fn() -> hbc_core::report::Table>);
     let items: Vec<Item> = vec![
         ("fig1", Box::new(hbc_core::experiments::fig1::run)),
@@ -73,8 +82,8 @@ fn main() {
         let table = run();
         let text = table.to_string();
         println!("{text}");
-        fs::write(format!("results/{name}.txt"), &text).expect("write result file");
-        fs::write(format!("results/{name}.csv"), table.to_csv()).expect("write csv file");
+        fs::write(format!("results/{name}.txt"), &text)?;
+        fs::write(format!("results/{name}.csv"), table.to_csv())?;
         eprintln!("[{name}] done in {:.1?}", t0.elapsed());
     }
     hbc_bench::emit_probes(
@@ -86,4 +95,5 @@ fn main() {
                 .line_buffer(true)
         })],
     );
+    Ok(())
 }

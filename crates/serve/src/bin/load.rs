@@ -1,0 +1,336 @@
+//! `hbc-load`: a deterministic load generator for `hbc-serve`.
+//!
+//! ```text
+//! hbc-load --addr URL [--requests N] [--concurrency C1,C2,…] [--seed N]
+//!          [--timeout-ms N] [--out PATH|none]
+//! hbc-load --addr URL --smoke
+//! hbc-load --addr URL --shutdown
+//! ```
+//!
+//! The default mode replays the seeded request mix of
+//! [`hbc_serve::spec::mixed_request`] — a pure function of `(seed, index)`,
+//! so every run issues the same specs in the same order — at each requested
+//! concurrency level, and records throughput, latency percentiles, and
+//! status/cache tallies into a benchmark JSON (`results/BENCH_serve.json`
+//! by default).
+//!
+//! `--smoke` is the CI gate: it computes one figure payload in-process,
+//! requests it twice, and fails unless both responses are `200` with
+//! byte-identical bodies and the second is a cache hit (confirmed both by
+//! the `X-Cache` header and the `/metrics` counters). `--shutdown` POSTs
+//! `/shutdown` and exits.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use hbc_serve::client;
+use hbc_serve::json::Json;
+use hbc_serve::spec::{mixed_request, ExperimentId, Preset, RunRequest};
+
+struct Options {
+    addr: SocketAddr,
+    requests: u64,
+    concurrency: Vec<usize>,
+    seed: u64,
+    timeout: Duration,
+    out: Option<std::path::PathBuf>,
+    smoke: bool,
+    shutdown: bool,
+}
+
+fn main() {
+    let opts = options_from_args();
+    if opts.shutdown {
+        match client::request(opts.addr, opts.timeout, "POST", "/shutdown", b"") {
+            Ok(resp) => println!("hbc-load: shutdown requested ({})", resp.status),
+            Err(e) => fail(&format!("shutdown request failed: {e}")),
+        }
+        return;
+    }
+    if opts.smoke {
+        smoke(&opts);
+        return;
+    }
+    load(&opts);
+}
+
+/// One recorded request: status, `X-Cache` label, latency.
+struct Sample {
+    status: u16,
+    cache: String,
+    micros: u64,
+}
+
+/// The measured outcome of one concurrency level.
+struct Level {
+    concurrency: usize,
+    wall: Duration,
+    samples: Vec<Sample>,
+}
+
+fn load(opts: &Options) {
+    let mut levels = Vec::new();
+    for &concurrency in &opts.concurrency {
+        let level = run_level(opts, concurrency);
+        let p = percentiles(&level.samples);
+        println!(
+            "hbc-load: c={concurrency} {} requests in {:.2}s — {:.1} req/s, \
+             p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+            level.samples.len(),
+            level.wall.as_secs_f64(),
+            level.samples.len() as f64 / level.wall.as_secs_f64(),
+            p[0] as f64 / 1000.0,
+            p[1] as f64 / 1000.0,
+            p[2] as f64 / 1000.0,
+        );
+        levels.push(level);
+    }
+    let report = render_report(opts, &levels);
+    match &opts.out {
+        None => println!("{report}"),
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    fail(&format!("cannot create {}: {e}", parent.display()));
+                }
+            }
+            if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+                fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            println!("hbc-load: wrote {}", path.display());
+        }
+    }
+}
+
+/// Replays requests 0..`opts.requests` of the mix with `concurrency`
+/// client threads pulling indices from a shared counter.
+fn run_level(opts: &Options, concurrency: usize) -> Level {
+    let next = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = mpsc::channel::<Sample>();
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..concurrency.max(1) {
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        let (addr, timeout, seed, requests) = (opts.addr, opts.timeout, opts.seed, opts.requests);
+        threads.push(std::thread::spawn(move || loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= requests {
+                return;
+            }
+            let spec = mixed_request(seed, index).to_json();
+            let t0 = Instant::now();
+            let sample = match client::request(addr, timeout, "POST", "/run", spec.as_bytes()) {
+                Ok(resp) => Sample {
+                    status: resp.status,
+                    cache: resp.header("x-cache").unwrap_or("none").to_string(),
+                    micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+                },
+                Err(_) => Sample {
+                    status: 0,
+                    cache: "transport-error".to_string(),
+                    micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+                },
+            };
+            if tx.send(sample).is_err() {
+                return;
+            }
+        }));
+    }
+    drop(tx);
+    let mut samples: Vec<Sample> = rx.iter().collect();
+    for thread in threads {
+        let _ = thread.join();
+    }
+    let wall = started.elapsed();
+    samples.sort_by_key(|s| s.micros);
+    Level { concurrency, wall, samples }
+}
+
+/// Nearest-rank p50/p95/p99 (in microseconds) over samples sorted by
+/// latency.
+fn percentiles(sorted: &[Sample]) -> [u64; 3] {
+    let n = sorted.len();
+    if n == 0 {
+        return [0; 3];
+    }
+    [50u64, 95, 99].map(|p| {
+        let rank = (p as usize * n).div_ceil(100).clamp(1, n);
+        sorted[rank - 1].micros
+    })
+}
+
+fn render_report(opts: &Options, levels: &[Level]) -> String {
+    use std::collections::BTreeMap;
+    let mut config = BTreeMap::new();
+    config.insert("requests".to_string(), Json::U64(opts.requests));
+    config.insert("seed".to_string(), Json::U64(opts.seed));
+    config.insert("mix".to_string(), Json::Str("hbc-load mix (spec::mixed_request)".to_string()));
+    let levels = levels
+        .iter()
+        .map(|level| {
+            let p = percentiles(&level.samples);
+            let mut status = BTreeMap::new();
+            let mut cache = BTreeMap::new();
+            for s in &level.samples {
+                let key = if s.status == 0 {
+                    "transport-error".to_string()
+                } else {
+                    s.status.to_string()
+                };
+                let e = status.entry(key).or_insert(Json::U64(0));
+                *e = Json::U64(e.as_u64().unwrap_or(0) + 1);
+                let e = cache.entry(s.cache.clone()).or_insert(Json::U64(0));
+                *e = Json::U64(e.as_u64().unwrap_or(0) + 1);
+            }
+            let mut latency = BTreeMap::new();
+            for (name, micros) in [("p50_ms", p[0]), ("p95_ms", p[1]), ("p99_ms", p[2])] {
+                latency.insert(name.to_string(), Json::F64(micros as f64 / 1000.0));
+            }
+            let mut obj = BTreeMap::new();
+            obj.insert("concurrency".to_string(), Json::U64(level.concurrency as u64));
+            obj.insert("wall_s".to_string(), Json::F64(level.wall.as_secs_f64()));
+            obj.insert(
+                "throughput_rps".to_string(),
+                Json::F64(level.samples.len() as f64 / level.wall.as_secs_f64()),
+            );
+            obj.insert("latency".to_string(), Json::Obj(latency));
+            obj.insert("status".to_string(), Json::Obj(status));
+            obj.insert("cache".to_string(), Json::Obj(cache));
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("bench".to_string(), Json::Str("hbc-serve load".to_string()));
+    root.insert("config".to_string(), Json::Obj(config));
+    root.insert("levels".to_string(), Json::Arr(levels));
+    Json::Obj(root).render()
+}
+
+/// The CI smoke gate: golden byte-identity plus a verified cache hit.
+fn smoke(opts: &Options) {
+    let mut request = RunRequest::new(ExperimentId::Fig4);
+    request.preset = Preset::Fast;
+    let expected = request.execute();
+    let spec = request.to_json();
+
+    let first = match client::request(opts.addr, opts.timeout, "POST", "/run", spec.as_bytes()) {
+        Ok(resp) => resp,
+        Err(e) => fail(&format!("first request failed: {e}")),
+    };
+    if first.status != 200 {
+        fail(&format!("first request: expected 200, got {} ({})", first.status, first.text()));
+    }
+    if first.body != expected.as_bytes() {
+        fail("first response body differs from the figure binary's output");
+    }
+    let second = match client::request(opts.addr, opts.timeout, "POST", "/run", spec.as_bytes()) {
+        Ok(resp) => resp,
+        Err(e) => fail(&format!("second request failed: {e}")),
+    };
+    let label = second.header("x-cache").unwrap_or("none").to_string();
+    if second.status != 200 || second.body != expected.as_bytes() {
+        fail(&format!(
+            "second request: status {}, golden match {}",
+            second.status,
+            second.body == expected.as_bytes()
+        ));
+    }
+    if !label.starts_with("hit-") {
+        fail(&format!("second request was not served from the cache (X-Cache: {label})"));
+    }
+    let metrics = match client::request(opts.addr, opts.timeout, "GET", "/metrics", b"") {
+        Ok(resp) => resp,
+        Err(e) => fail(&format!("metrics request failed: {e}")),
+    };
+    let hits = Json::parse(&metrics.text())
+        .ok()
+        .and_then(|v| {
+            let counters = v.as_obj()?.get("counters")?.as_obj().cloned()?;
+            Some(
+                counters.get("serve.cache.hits.memory")?.as_u64()?
+                    + counters.get("serve.cache.hits.disk")?.as_u64()?,
+            )
+        })
+        .unwrap_or_else(|| fail("metrics response is missing the cache-hit counters"));
+    if hits == 0 {
+        fail("metrics report zero cache hits after a hit response");
+    }
+    println!(
+        "hbc-load smoke: ok ({} payload bytes, second request X-Cache: {label}, \
+         {hits} cache hit(s) in /metrics)",
+        expected.len()
+    );
+}
+
+fn options_from_args() -> Options {
+    let mut addr = None;
+    let mut opts = Options {
+        addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+        requests: 64,
+        concurrency: vec![1, 4],
+        seed: 7,
+        timeout: Duration::from_secs(120),
+        out: Some(std::path::PathBuf::from("results/BENCH_serve.json")),
+        smoke: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => match client::parse_addr(&value("--addr")) {
+                Ok(parsed) => addr = Some(parsed),
+                Err(e) => usage(&e),
+            },
+            "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
+            "--concurrency" => {
+                opts.concurrency = value("--concurrency")
+                    .split(',')
+                    .map(|c| parse(c.trim(), "--concurrency"))
+                    .collect();
+                if opts.concurrency.is_empty() || opts.concurrency.contains(&0) {
+                    usage("--concurrency needs positive levels, e.g. 1,4");
+                }
+            }
+            "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
+            "--timeout-ms" => {
+                opts.timeout = Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"));
+            }
+            "--out" => {
+                let path = value("--out");
+                opts.out = if path == "none" { None } else { Some(path.into()) };
+            }
+            "--smoke" => opts.smoke = true,
+            "--shutdown" => opts.shutdown = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    match addr {
+        Some(addr) => opts.addr = addr,
+        None => usage("--addr is required (e.g. --addr http://127.0.0.1:8080)"),
+    }
+    opts
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| usage(&format!("{flag} needs an unsigned integer")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: hbc-load --addr URL [--requests N] [--concurrency C1,C2,…] [--seed N] \
+         [--timeout-ms N] [--out PATH|none] [--smoke] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hbc-load: FAIL: {msg}");
+    std::process::exit(1);
+}

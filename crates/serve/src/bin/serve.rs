@@ -1,0 +1,81 @@
+//! `hbc-serve`: serve paper experiments over HTTP.
+//!
+//! ```text
+//! hbc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//!           [--max-jobs N] [--cache-dir PATH|none] [--cache-entries N]
+//! ```
+//!
+//! Binds, prints the listening URL, and serves until a client POSTs
+//! `/shutdown`; then drains in-flight work and exits. Endpoints:
+//!
+//! * `POST /run` — body `{"experiment":"fig6","preset":"fast",…}`; the
+//!   response is byte-identical to the figure binary's standard output.
+//! * `GET /metrics` — probe-registry JSON of service counters.
+//! * `GET /experiments` — what can be requested.
+//! * `GET /healthz`, `POST /shutdown`.
+
+use std::time::Duration;
+
+use hbc_serve::server::{Server, ServerConfig};
+
+fn main() {
+    let config = config_from_args();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("hbc-serve listening on http://{}", server.addr());
+    server.join();
+    println!("hbc-serve: drained and stopped");
+}
+
+fn config_from_args() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.workers = parse(&value("--workers"), "--workers");
+                if config.workers == 0 {
+                    usage("--workers must be at least 1");
+                }
+            }
+            "--queue" => config.queue_capacity = parse(&value("--queue"), "--queue"),
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"));
+            }
+            "--max-jobs" => config.max_jobs = parse(&value("--max-jobs"), "--max-jobs"),
+            "--cache-dir" => {
+                let dir = value("--cache-dir");
+                config.cache_dir =
+                    if dir == "none" { None } else { Some(std::path::PathBuf::from(dir)) };
+            }
+            "--cache-entries" => {
+                config.cache_entries = parse(&value("--cache-entries"), "--cache-entries");
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    config
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| usage(&format!("{flag} needs an unsigned integer")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: hbc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] \
+         [--max-jobs N] [--cache-dir PATH|none] [--cache-entries N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,69 @@
+//! A minimal blocking HTTP client for the service.
+//!
+//! One connection per request (the server answers `Connection: close`),
+//! with a socket timeout on every phase so a wedged server turns into a
+//! typed error, not a hung load generator. Used by `hbc-load` and the
+//! end-to-end tests; not a general HTTP client.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{self, HttpError, Response};
+
+/// Issues one request and reads the full response.
+///
+/// `body` is sent with a `Content-Length` header when non-empty.
+pub fn request(
+    addr: SocketAddr,
+    timeout: Duration,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    send_request_head(&mut stream, method, path, body)?;
+    http::read_response(&mut stream)
+}
+
+/// Writes the request head + body to an already connected stream.
+pub fn send_request_head(
+    stream: &mut impl io::Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: hbc-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Parses `addr` as `host:port`, with an optional `http://` prefix and
+/// trailing `/` (so the CLI accepts the URL the server prints).
+pub fn parse_addr(addr: &str) -> Result<SocketAddr, String> {
+    let trimmed = addr.strip_prefix("http://").unwrap_or(addr).trim_end_matches('/');
+    use std::net::ToSocketAddrs as _;
+    match trimmed.to_socket_addrs() {
+        Ok(mut addrs) => addrs.next().ok_or_else(|| format!("`{addr}` resolves to nothing")),
+        Err(e) => Err(format!("cannot parse `{addr}`: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_forms_parse() {
+        for form in ["127.0.0.1:8080", "http://127.0.0.1:8080", "http://127.0.0.1:8080/"] {
+            assert_eq!(parse_addr(form).unwrap().port(), 8080, "{form}");
+        }
+        assert!(parse_addr("not an address").is_err());
+    }
+}

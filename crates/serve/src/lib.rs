@@ -1,0 +1,63 @@
+//! `hbc-serve`: a dependency-free simulation service.
+//!
+//! The figure binaries answer one question per process run; this crate
+//! turns the same experiment drivers into a long-lived service that many
+//! clients can query concurrently:
+//!
+//! * [`json`] / [`spec`] — a hand-rolled JSON codec and the validated
+//!   request specs it carries, with a *canonical* rendering that makes
+//!   "same experiment" a syntactic property;
+//! * [`hash`] / [`cache`] — SHA-256 content addressing over canonical
+//!   specs, an in-memory LRU, and on-disk persistence under
+//!   `results/cache/`, so identical requests never re-simulate;
+//! * [`http`] / [`server`] — a std-only HTTP/1.1 server on `TcpListener`
+//!   with a fixed worker pool, a bounded admission queue (429 on
+//!   overload), single-flight coalescing of concurrent identical
+//!   requests, per-request timeouts, and graceful drain on shutdown;
+//! * [`metrics`] — request/cache/queue/latency counters exported through
+//!   the `hbc-probe` registry at `GET /metrics`;
+//! * [`client`] — the minimal blocking HTTP client used by the `hbc-load`
+//!   generator and the end-to-end tests.
+//!
+//! The serving contract is *bit-identity*: a figure fetched through the
+//! service equals the corresponding figure binary's standard output
+//! byte for byte, whether it was simulated for this request, coalesced
+//! onto a concurrent identical one, or replayed from the result cache
+//! (`tests/serve_e2e.rs` proves all three).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hbc_serve::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! server.join(); // serves until a client POSTs /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod spec;
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// The service must not let one poisoned lock wedge every later request:
+/// all shared state guarded here (cache LRU, metrics histogram, admission
+/// queue) stays internally consistent under panic because each critical
+/// section completes its writes before leaving, so continuing with the
+/// inner value is sound.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

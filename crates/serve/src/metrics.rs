@@ -1,0 +1,159 @@
+//! Service metrics, exported through the `hbc-probe` registry.
+//!
+//! Counters are plain atomics so the request path never takes a lock to
+//! count; the latency histogram reuses [`hbc_probe::Histogram`] (exact
+//! count/sum/min/max, power-of-two buckets) under a mutex, touched once
+//! per response. `GET /metrics` snapshots everything into a
+//! [`ProbeRegistry`] and renders its deterministic JSON — the same
+//! format, naming scheme, and `probe-naming` lint coverage as the
+//! simulator's own probes.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_serve::metrics::Metrics;
+//!
+//! let m = Metrics::default();
+//! m.requests.inc();
+//! m.cache_hits_memory.inc();
+//! let json = m.to_registry().to_json();
+//! assert!(json.contains("\"serve.cache.hits.memory\":1"));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hbc_probe::{Histogram, ProbeRegistry};
+
+use crate::lock;
+
+/// A monotonically increasing atomic counter (relaxed ordering: the
+/// metrics are statistics, not synchronization).
+#[derive(Debug, Default)]
+pub struct AtomicCounter(AtomicU64);
+
+impl AtomicCounter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared service counters. One instance lives behind an `Arc` in the
+/// server's shared state; every field is independently updatable from any
+/// worker without locking.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests that reached a handler (parsed request line).
+    pub requests: AtomicCounter,
+    /// `200` responses.
+    pub responses_ok: AtomicCounter,
+    /// `400` responses (malformed HTTP, JSON, or spec).
+    pub responses_bad_request: AtomicCounter,
+    /// `404` responses.
+    pub responses_not_found: AtomicCounter,
+    /// `429` responses (admission queue full).
+    pub responses_rejected: AtomicCounter,
+    /// `503` responses (shutting down).
+    pub responses_unavailable: AtomicCounter,
+    /// `504` responses (per-request timeout).
+    pub responses_timeout: AtomicCounter,
+    /// `500` responses (execution failed).
+    pub responses_error: AtomicCounter,
+    /// Result-cache hits served from the in-memory LRU.
+    pub cache_hits_memory: AtomicCounter,
+    /// Result-cache hits replayed from `results/cache/` on disk.
+    pub cache_hits_disk: AtomicCounter,
+    /// Cache misses (a simulation was started).
+    pub cache_misses: AtomicCounter,
+    /// Requests coalesced onto an identical in-flight simulation.
+    pub coalesced: AtomicCounter,
+    /// Simulations actually executed by the engine.
+    pub exec_runs: AtomicCounter,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the admission queue.
+    pub queue_peak: AtomicU64,
+    /// End-to-end request latency in microseconds (accept to response
+    /// written), including queueing.
+    pub latency_micros: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// Notes a connection entering the admission queue.
+    pub fn queue_push(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Notes a connection leaving the admission queue.
+    pub fn queue_pop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one served request's end-to-end latency.
+    pub fn record_latency(&self, micros: u64) {
+        lock(&self.latency_micros).record(micros);
+    }
+
+    /// Snapshots every counter into a fresh [`ProbeRegistry`] (sorted,
+    /// deterministic given the counter values).
+    pub fn to_registry(&self) -> ProbeRegistry {
+        let mut reg = ProbeRegistry::new();
+        reg.counter("serve.http.requests").set(self.requests.get());
+        reg.counter("serve.http.responses.ok").set(self.responses_ok.get());
+        reg.counter("serve.http.responses.bad_request").set(self.responses_bad_request.get());
+        reg.counter("serve.http.responses.not_found").set(self.responses_not_found.get());
+        reg.counter("serve.http.responses.rejected").set(self.responses_rejected.get());
+        reg.counter("serve.http.responses.unavailable").set(self.responses_unavailable.get());
+        reg.counter("serve.http.responses.timeout").set(self.responses_timeout.get());
+        reg.counter("serve.http.responses.error").set(self.responses_error.get());
+        reg.counter("serve.cache.hits.memory").set(self.cache_hits_memory.get());
+        reg.counter("serve.cache.hits.disk").set(self.cache_hits_disk.get());
+        reg.counter("serve.cache.misses").set(self.cache_misses.get());
+        reg.counter("serve.cache.coalesced").set(self.coalesced.get());
+        reg.counter("serve.exec.runs").set(self.exec_runs.get());
+        reg.counter("serve.queue.depth").set(self.queue_depth.load(Ordering::Relaxed));
+        reg.counter("serve.queue.peak").set(self.queue_peak.load(Ordering::Relaxed));
+        *reg.histogram("serve.latency.micros") = lock(&self.latency_micros).clone();
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_gauge_tracks_depth_and_peak() {
+        let m = Metrics::default();
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.queue_push();
+        let reg = m.to_registry();
+        assert_eq!(reg.get("serve.queue.depth"), Some(2));
+        assert_eq!(reg.get("serve.queue.peak"), Some(2));
+    }
+
+    #[test]
+    fn export_is_parseable_and_complete() {
+        let m = Metrics::default();
+        m.requests.inc();
+        m.record_latency(1234);
+        let json = m.to_registry().to_json();
+        let v = crate::json::Json::parse(&json).expect("metrics JSON parses");
+        let obj = v.as_obj().expect("object");
+        let counters = obj["counters"].as_obj().expect("counters object");
+        assert_eq!(counters["serve.http.requests"].as_u64(), Some(1));
+        assert_eq!(counters.len(), 15);
+        assert!(obj["histograms"].as_obj().expect("histograms")["serve.latency.micros"]
+            .as_obj()
+            .is_some());
+    }
+}

@@ -1,0 +1,575 @@
+//! The simulation server: acceptor, bounded admission queue, worker pool,
+//! single-flight execution, and graceful shutdown.
+//!
+//! ```text
+//!            accept           bounded queue            worker pool
+//!  clients ─────────▶ acceptor ──────────────▶ workers ──┬─ cache hit ─▶ respond
+//!                        │ queue full                    └─ miss ─▶ single-flight
+//!                        ▼                                          runner thread
+//!                   429 response                                    (hbc-exec)
+//! ```
+//!
+//! Robustness decisions, in one place:
+//!
+//! * **Backpressure** — the admission queue holds at most
+//!   [`ServerConfig::queue_capacity`] connections; beyond that the
+//!   acceptor answers `429` immediately instead of letting latency grow
+//!   without bound (and instead of accepting work it cannot finish).
+//! * **Timeouts** — every request carries a deadline from the moment it
+//!   was accepted; a simulation that misses it gets a `504`, while the
+//!   runner thread finishes in the background and populates the result
+//!   cache, so a retry is a hit.
+//! * **Single-flight** — concurrent identical requests coalesce onto one
+//!   simulation; followers wait on the leader's flight and serve the
+//!   same bytes. `serve.exec.runs` counts real simulations only.
+//! * **Graceful shutdown** — `POST /shutdown` (or
+//!   [`ServerHandle::shutdown`]) stops the acceptor, lets workers drain
+//!   the queue and finish in-flight responses, and answers any connection
+//!   still queued with `503`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::{ResultCache, Tier};
+use crate::http::{self, HttpError, Request};
+use crate::json::Json;
+use crate::lock;
+use crate::metrics::Metrics;
+use crate::spec::{ExperimentId, Preset, RunRequest};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests. `0` is permitted (nothing drains
+    /// the queue — used by overload tests); the CLI requires ≥ 1.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; connections beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from accept. A simulation that
+    /// misses it returns `504` (and keeps running into the cache).
+    pub request_timeout: Duration,
+    /// Upper bound on the per-request `jobs` field (worker threads inside
+    /// the `hbc-exec` engine). Requests asking for more are clamped.
+    pub max_jobs: usize,
+    /// Result-cache directory; `None` disables persistence.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// In-memory result-cache entries.
+    pub cache_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(600),
+            max_jobs: 8,
+            cache_dir: Some(std::path::PathBuf::from("results/cache")),
+            cache_entries: 64,
+        }
+    }
+}
+
+/// How one in-flight simulation ended.
+#[derive(Debug, Clone)]
+enum FlightState {
+    Running,
+    Done(String),
+    Failed(String),
+}
+
+/// A single-flight slot: the leader executes, followers wait here.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// Outcome of waiting on a [`Flight`] with a deadline.
+enum FlightWait {
+    Done(String),
+    Failed(String),
+    TimedOut,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { state: Mutex::new(FlightState::Running), cv: Condvar::new() }
+    }
+
+    fn finish(&self, state: FlightState) {
+        *lock(&self.state) = state;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, deadline: Instant) -> FlightWait {
+        let mut state = lock(&self.state);
+        loop {
+            match &*state {
+                FlightState::Done(body) => return FlightWait::Done(body.clone()),
+                FlightState::Failed(msg) => return FlightWait::Failed(msg.clone()),
+                FlightState::Running => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return FlightWait::TimedOut;
+            }
+            state = match self.cv.wait_timeout(state, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// State shared by the acceptor, the workers, and every handle.
+struct Shared {
+    addr: SocketAddr,
+    request_timeout: Duration,
+    max_jobs: usize,
+    cache: ResultCache,
+    metrics: Arc<Metrics>,
+    queue: Mutex<VecDeque<QueuedConn>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    in_flight: Mutex<BTreeMap<String, Arc<Flight>>>,
+}
+
+/// A running server. The usual lifecycle is [`Server::bind`] → clients →
+/// `POST /shutdown` (or [`ServerHandle::shutdown`]) → [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable reference to a running server, for shutdown and metrics.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the acceptor and worker threads, and
+    /// returns immediately.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::new(dir.clone(), config.cache_entries),
+            None => ResultCache::in_memory(config.cache_entries),
+        };
+        let shared = Arc::new(Shared {
+            addr,
+            request_timeout: config.request_timeout,
+            max_jobs: config.max_jobs,
+            cache,
+            metrics: Arc::new(Metrics::default()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: config.queue_capacity,
+            shutdown: AtomicBool::new(false),
+            in_flight: Mutex::new(BTreeMap::new()),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hbc-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hbc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Server { shared, acceptor, workers })
+    }
+
+    /// The bound address (the real port even when `addr` asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for shutdown and metrics inspection.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Blocks until shutdown is requested, then drains: joins the
+    /// acceptor and workers and answers any still-queued connection with
+    /// `503`.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        // Anything still queued (no workers, or a push that raced the
+        // last worker's exit) gets an orderly refusal.
+        let leftovers: Vec<QueuedConn> = lock(&self.shared.queue).drain(..).collect();
+        for conn in leftovers {
+            self.shared.metrics.queue_pop();
+            self.shared.metrics.responses_unavailable.inc();
+            respond_without_reading(conn.stream, 503, "server is shutting down");
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: stops accepting, lets workers drain.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// The live metrics shared with the server.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue_cv.notify_all();
+    // Unblock the acceptor's blocking accept with a throwaway connection.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = lock(&shared.queue);
+        if queue.len() >= shared.queue_capacity {
+            drop(queue);
+            shared.metrics.responses_rejected.inc();
+            respond_without_reading(stream, 429, "admission queue is full, retry later");
+            continue;
+        }
+        queue.push_back(QueuedConn { stream, accepted: Instant::now() });
+        shared.metrics.queue_push();
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+/// Writes an error response to a connection whose request was never read
+/// (admission rejection, shutdown drain), then drains the unread request
+/// bytes so closing the socket does not RST the response away.
+fn respond_without_reading(mut stream: TcpStream, status: u16, message: &str) {
+    let short = Duration::from_millis(500);
+    let _ = stream.set_write_timeout(Some(short));
+    let _ = stream.set_read_timeout(Some(short));
+    let body = error_body(status, message);
+    if http::write_response(&mut stream, status, "application/json", &[], body.as_bytes()).is_ok() {
+        use std::io::Read as _;
+        let mut sink = [0u8; 512];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let conn = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    shared.metrics.queue_pop();
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = match shared.queue_cv.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        match conn {
+            Some(conn) => handle_conn(shared, conn),
+            None => return,
+        }
+    }
+}
+
+/// JSON error envelope: `{"error":…,"status":…}`.
+fn error_body(status: u16, message: &str) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("error".to_string(), Json::Str(message.to_string()));
+    obj.insert("status".to_string(), Json::U64(u64::from(status)));
+    Json::Obj(obj).render()
+}
+
+/// One response, with metrics accounting by status.
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    accepted: Instant,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    match status {
+        200 => shared.metrics.responses_ok.inc(),
+        400 | 405 => shared.metrics.responses_bad_request.inc(),
+        404 => shared.metrics.responses_not_found.inc(),
+        429 => shared.metrics.responses_rejected.inc(),
+        503 => shared.metrics.responses_unavailable.inc(),
+        504 => shared.metrics.responses_timeout.inc(),
+        _ => shared.metrics.responses_error.inc(),
+    }
+    let _ = http::write_response(stream, status, content_type, extra_headers, body);
+    let micros = u64::try_from(accepted.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_latency(micros);
+}
+
+fn respond_error(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    accepted: Instant,
+    status: u16,
+    message: &str,
+) {
+    let body = error_body(status, message);
+    respond(shared, stream, accepted, status, "application/json", &[], body.as_bytes());
+}
+
+fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
+    let QueuedConn { mut stream, accepted } = conn;
+    let deadline = accepted + shared.request_timeout;
+    let now = Instant::now();
+    if now >= deadline {
+        // Spent its whole budget in the queue.
+        shared.metrics.requests.inc();
+        respond_error(shared, &mut stream, accepted, 504, "request timed out in queue");
+        return;
+    }
+    // The socket read budget is the smaller of the request deadline and a
+    // fixed cap, so an idle client cannot pin a worker for a long timeout.
+    let io_budget = (deadline - now).min(Duration::from_secs(10));
+    let _ = stream.set_read_timeout(Some(io_budget));
+    let _ = stream.set_write_timeout(Some(io_budget));
+
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        // Nothing useful (or nobody) to answer: closed early or dead socket.
+        Err(HttpError::Closed | HttpError::Io(_)) => return,
+        Err(err @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
+            shared.metrics.requests.inc();
+            respond_error(shared, &mut stream, accepted, 400, &err.to_string());
+            return;
+        }
+    };
+    shared.metrics.requests.inc();
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => handle_run(shared, &mut stream, accepted, deadline, &request),
+        ("GET", "/metrics") => {
+            let body = shared.metrics.to_registry().to_json();
+            respond(shared, &mut stream, accepted, 200, "application/json", &[], body.as_bytes());
+        }
+        ("GET", "/healthz") => {
+            respond(shared, &mut stream, accepted, 200, "text/plain", &[], b"ok\n");
+        }
+        ("GET", "/experiments") => {
+            let body = experiments_body();
+            respond(shared, &mut stream, accepted, 200, "application/json", &[], body.as_bytes());
+        }
+        ("POST", "/shutdown") => {
+            respond(shared, &mut stream, accepted, 200, "text/plain", &[], b"shutting down\n");
+            initiate_shutdown(shared);
+        }
+        (_, "/run" | "/metrics" | "/healthz" | "/experiments" | "/shutdown") => {
+            respond_error(shared, &mut stream, accepted, 405, "method not allowed");
+        }
+        _ => respond_error(shared, &mut stream, accepted, 404, "no such endpoint"),
+    }
+}
+
+/// `GET /experiments`: what the service can run.
+fn experiments_body() -> String {
+    let experiments = ExperimentId::ALL.map(|id| Json::Str(id.name().to_string())).to_vec();
+    let presets = [Preset::Fast, Preset::Standard, Preset::Full]
+        .map(|p| Json::Str(p.name().to_string()))
+        .to_vec();
+    let mut obj = BTreeMap::new();
+    obj.insert("experiments".to_string(), Json::Arr(experiments));
+    obj.insert("presets".to_string(), Json::Arr(presets));
+    Json::Obj(obj).render()
+}
+
+fn handle_run(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    accepted: Instant,
+    deadline: Instant,
+    request: &Request,
+) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            respond_error(shared, stream, accepted, 400, "request body is not UTF-8");
+            return;
+        }
+    };
+    let mut run = match RunRequest::from_json_text(text) {
+        Ok(run) => run,
+        Err(err) => {
+            respond_error(shared, stream, accepted, 400, &err.to_string());
+            return;
+        }
+    };
+    // `jobs` is execution-only (absent from the cache key); clamp it so a
+    // request cannot commandeer the host.
+    if run.jobs > shared.max_jobs {
+        run.jobs = shared.max_jobs;
+    }
+    let hash = run.spec_hash();
+    let canonical = run.canonical();
+
+    if let Some((body, tier)) = shared.cache.get(&hash, &canonical) {
+        let (label, counter) = match tier {
+            Tier::Memory => ("hit-memory", &shared.metrics.cache_hits_memory),
+            Tier::Disk => ("hit-disk", &shared.metrics.cache_hits_disk),
+        };
+        counter.inc();
+        let headers = [("X-Cache", label), ("X-Spec-Hash", hash.as_str())];
+        respond(shared, stream, accepted, 200, "text/plain", &headers, body.as_bytes());
+        return;
+    }
+
+    // Single-flight: the first requester for this hash leads and
+    // executes; concurrent identical requests wait on the same flight.
+    let (flight, leader) = {
+        let mut in_flight = lock(&shared.in_flight);
+        match in_flight.get(&hash) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight::new());
+                in_flight.insert(hash.clone(), Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+    if leader {
+        shared.metrics.cache_misses.inc();
+        spawn_runner(shared, run, hash.clone(), canonical, Arc::clone(&flight));
+    } else {
+        shared.metrics.coalesced.inc();
+    }
+
+    let cache_label = if leader { "miss" } else { "coalesced" };
+    match flight.wait(deadline) {
+        FlightWait::Done(body) => {
+            let headers = [("X-Cache", cache_label), ("X-Spec-Hash", hash.as_str())];
+            respond(shared, stream, accepted, 200, "text/plain", &headers, body.as_bytes());
+        }
+        FlightWait::Failed(message) => {
+            respond_error(shared, stream, accepted, 500, &message);
+        }
+        FlightWait::TimedOut => {
+            respond_error(
+                shared,
+                stream,
+                accepted,
+                504,
+                "simulation exceeded the request timeout; it continues into the result cache \
+                 — retry to fetch it",
+            );
+        }
+    }
+}
+
+/// Spawns the detached thread that runs one simulation and completes its
+/// [`Flight`]. The runner finishes even if every waiter times out, so the
+/// result still lands in the cache and a retry is a hit.
+fn spawn_runner(
+    shared: &Arc<Shared>,
+    run: RunRequest,
+    hash: String,
+    canonical: String,
+    flight: Arc<Flight>,
+) {
+    let runner_shared = Arc::clone(shared);
+    let flight_on_error = Arc::clone(&flight);
+    let hash_on_error = hash.clone();
+    let spawned =
+        std::thread::Builder::new().name("hbc-serve-runner".to_string()).spawn(move || {
+            runner_shared.metrics.exec_runs.inc();
+            let result = catch_unwind(AssertUnwindSafe(|| run.execute()));
+            match result {
+                Ok(body) => {
+                    if let Err(e) = runner_shared.cache.put(&hash, &canonical, &body) {
+                        eprintln!("hbc-serve: persisting cache entry {hash} failed: {e}");
+                    }
+                    lock(&runner_shared.in_flight).remove(&hash);
+                    flight.finish(FlightState::Done(body));
+                }
+                Err(_) => {
+                    lock(&runner_shared.in_flight).remove(&hash);
+                    flight.finish(FlightState::Failed(format!(
+                        "simulation for spec {hash} panicked; see server logs"
+                    )));
+                }
+            }
+        });
+    if let Err(e) = spawned {
+        lock(&shared.in_flight).remove(&hash_on_error);
+        flight_on_error.finish(FlightState::Failed(format!("cannot spawn runner thread: {e}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let body = error_body(400, "field `seed`: expected \"quote\"");
+        let v = Json::parse(&body).expect("envelope parses");
+        assert_eq!(v.as_obj().unwrap()["status"].as_u64(), Some(400));
+    }
+
+    #[test]
+    fn experiments_body_lists_everything() {
+        let v = Json::parse(&experiments_body()).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert!(matches!(&obj["experiments"], Json::Arr(a) if a.len() == 10));
+        assert!(matches!(&obj["presets"], Json::Arr(a) if a.len() == 3));
+    }
+
+    #[test]
+    fn flight_wait_times_out_and_completes() {
+        let flight = Flight::new();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(matches!(flight.wait(deadline), FlightWait::TimedOut));
+        flight.finish(FlightState::Done("x".to_string()));
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(matches!(flight.wait(deadline), FlightWait::Done(b) if b == "x"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Request specs: what a client may ask the service to simulate, how a
+//! spec is canonicalized into a cache key, and how it is executed.
+//!
+//! A [`RunRequest`] names one paper experiment plus the knobs that change
+//! its *result* (preset, representative restriction, seed) and one knob
+//! that does not (`jobs`, the per-request worker count of the `hbc-exec`
+//! engine — proven bit-identical at every value). The canonical form
+//! therefore includes the result-determining fields only, always all of
+//! them and always in sorted key order, so that
+//!
+//! * a spec that spells out defaults (`"seed":42`) and one that omits them
+//!   hash identically, and
+//! * `jobs` can be tuned per request without splitting the cache.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_serve::spec::RunRequest;
+//!
+//! let terse = RunRequest::from_json_text(r#"{"experiment":"fig6","preset":"fast"}"#).unwrap();
+//! let verbose = RunRequest::from_json_text(
+//!     r#"{"experiment":"fig6","jobs":4,"preset":"fast","reps":false,"seed":42}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(terse.spec_hash(), verbose.spec_hash());
+//! ```
+
+use std::fmt;
+
+use hbc_core::report::Table;
+use hbc_core::{experiments, ExpParams};
+
+use crate::hash::sha256_hex;
+use crate::json::Json;
+
+/// One experiment of the paper, as addressable through the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Figure 1 — SRAM access times (no simulation parameters).
+    Fig1,
+    /// Table 1 — the nine benchmarks (no simulation parameters).
+    Table1,
+    /// Table 2 — instruction-mix percentages.
+    Table2,
+    /// Figure 3 — misses per instruction vs cache size.
+    Fig3,
+    /// Figure 4 — ideal multi-ported multi-cycle caches.
+    Fig4,
+    /// Figure 5 — banked multi-cycle caches.
+    Fig5,
+    /// Figure 6 — the line buffer on banked and duplicate caches.
+    Fig6,
+    /// Figure 7 — the on-chip DRAM cache.
+    Fig7,
+    /// Figure 8 — IPC vs cache size for the leading organizations.
+    Fig8,
+    /// Figure 9 — normalized execution time vs processor cycle time.
+    Fig9,
+}
+
+impl ExperimentId {
+    /// Every experiment, in paper order.
+    pub const ALL: [ExperimentId; 10] = [
+        ExperimentId::Fig1,
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+    ];
+
+    /// The wire name (`"fig6"`, `"table1"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentId::Fig1 => "fig1",
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Fig3 => "fig3",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<ExperimentId> {
+        ExperimentId::ALL.into_iter().find(|id| id.name() == name)
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fidelity preset, mirroring the figure binaries' `--fast`/`--full` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// `ExpParams::fast()` — short windows, representatives only.
+    Fast,
+    /// `ExpParams::standard()` — the default of the figure binaries.
+    Standard,
+    /// `ExpParams::full()` — 200 K-instruction windows, all benchmarks.
+    Full,
+}
+
+impl Preset {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Fast => "fast",
+            Preset::Standard => "standard",
+            Preset::Full => "full",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<Preset> {
+        [Preset::Fast, Preset::Standard, Preset::Full].into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// A validated request for one experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Which table or figure to regenerate.
+    pub experiment: ExperimentId,
+    /// Fidelity preset (default [`Preset::Standard`], like the binaries).
+    pub preset: Preset,
+    /// Restrict to the three representative benchmarks (`--reps`).
+    pub reps: bool,
+    /// Workload seed (default 42, the binaries' default).
+    pub seed: u64,
+    /// `hbc-exec` worker threads for this request (`--jobs`; default 1).
+    /// Execution-only: results are bit-identical at every value, so this
+    /// field is *excluded* from the canonical form and the cache key.
+    pub jobs: usize,
+}
+
+/// Why a request spec was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The body was not valid JSON.
+    Json(crate::json::JsonError),
+    /// The top-level value was not an object.
+    NotAnObject,
+    /// A required field is missing.
+    Missing(&'static str),
+    /// A field had the wrong type or an out-of-range value.
+    Invalid {
+        /// The offending field.
+        field: &'static str,
+        /// What was expected.
+        expected: String,
+    },
+    /// A field the codec does not know. Unknown fields are rejected rather
+    /// than ignored so they can never silently fail to affect the result
+    /// while still being absent from the cache key.
+    Unknown(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::NotAnObject => write!(f, "request body must be a JSON object"),
+            SpecError::Missing(field) => write!(f, "missing required field `{field}`"),
+            SpecError::Invalid { field, expected } => {
+                write!(f, "field `{field}`: expected {expected}")
+            }
+            SpecError::Unknown(field) => write!(f, "unknown field `{field}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl RunRequest {
+    /// A request for `experiment` with the binaries' defaults: standard
+    /// preset, all benchmarks, seed 42, serial execution.
+    pub fn new(experiment: ExperimentId) -> Self {
+        RunRequest { experiment, preset: Preset::Standard, reps: false, seed: 42, jobs: 1 }
+    }
+
+    /// Decodes and validates a request from a parsed JSON value.
+    pub fn from_json(value: &Json) -> Result<RunRequest, SpecError> {
+        let obj = value.as_obj().ok_or(SpecError::NotAnObject)?;
+        for key in obj.keys() {
+            if !matches!(key.as_str(), "experiment" | "preset" | "reps" | "seed" | "jobs") {
+                return Err(SpecError::Unknown(key.clone()));
+            }
+        }
+        let experiment = obj
+            .get("experiment")
+            .ok_or(SpecError::Missing("experiment"))?
+            .as_str()
+            .and_then(ExperimentId::parse)
+            .ok_or_else(|| SpecError::Invalid {
+                field: "experiment",
+                expected: format!("one of {}", ExperimentId::ALL.map(|id| id.name()).join("|")),
+            })?;
+        let mut request = RunRequest::new(experiment);
+        if let Some(v) = obj.get("preset") {
+            request.preset = v.as_str().and_then(Preset::parse).ok_or(SpecError::Invalid {
+                field: "preset",
+                expected: "one of fast|standard|full".to_string(),
+            })?;
+        }
+        if let Some(v) = obj.get("reps") {
+            request.reps = v
+                .as_bool()
+                .ok_or(SpecError::Invalid { field: "reps", expected: "a boolean".to_string() })?;
+        }
+        if let Some(v) = obj.get("seed") {
+            request.seed = v.as_u64().ok_or(SpecError::Invalid {
+                field: "seed",
+                expected: "an unsigned 64-bit integer".to_string(),
+            })?;
+        }
+        if let Some(v) = obj.get("jobs") {
+            let jobs = v.as_u64().ok_or(SpecError::Invalid {
+                field: "jobs",
+                expected: "an unsigned integer".to_string(),
+            })?;
+            request.jobs = usize::try_from(jobs).map_err(|_| SpecError::Invalid {
+                field: "jobs",
+                expected: "a worker count that fits usize".to_string(),
+            })?;
+        }
+        Ok(request)
+    }
+
+    /// Decodes and validates a request from raw JSON text.
+    pub fn from_json_text(text: &str) -> Result<RunRequest, SpecError> {
+        RunRequest::from_json(&Json::parse(text).map_err(SpecError::Json)?)
+    }
+
+    /// The canonical spec: every result-determining field, spelled out
+    /// explicitly, rendered with sorted keys and no whitespace. Two
+    /// requests are cache-equivalent iff their canonical specs are
+    /// byte-identical; `jobs` is deliberately absent (see the field docs).
+    pub fn canonical(&self) -> String {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("experiment".to_string(), Json::Str(self.experiment.name().to_string()));
+        obj.insert("preset".to_string(), Json::Str(self.preset.name().to_string()));
+        obj.insert("reps".to_string(), Json::Bool(self.reps));
+        obj.insert("seed".to_string(), Json::U64(self.seed));
+        Json::Obj(obj).render()
+    }
+
+    /// Renders the full request (including `jobs`) as JSON — the exact
+    /// inverse of [`RunRequest::from_json_text`].
+    pub fn to_json(&self) -> String {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("experiment".to_string(), Json::Str(self.experiment.name().to_string()));
+        obj.insert("preset".to_string(), Json::Str(self.preset.name().to_string()));
+        obj.insert("reps".to_string(), Json::Bool(self.reps));
+        obj.insert("seed".to_string(), Json::U64(self.seed));
+        obj.insert("jobs".to_string(), Json::U64(self.jobs as u64));
+        Json::Obj(obj).render()
+    }
+
+    /// The content address: SHA-256 of the canonical spec, as 64 hex
+    /// characters. Doubles as the on-disk entry name.
+    pub fn spec_hash(&self) -> String {
+        sha256_hex(self.canonical().as_bytes())
+    }
+
+    /// The [`ExpParams`] this request executes with, mirroring
+    /// `hbc_bench::params_from` flag-for-flag.
+    pub fn to_params(&self) -> ExpParams {
+        let mut params = match self.preset {
+            Preset::Fast => ExpParams::fast(),
+            Preset::Standard => ExpParams::standard(),
+            Preset::Full => ExpParams::full(),
+        };
+        if self.reps {
+            params = params.representatives();
+        }
+        params.seed = self.seed;
+        params.jobs = self.jobs;
+        params
+    }
+
+    /// Runs the experiment, delegating the sweep to the `hbc-exec` engine
+    /// via the experiment drivers, and returns the rendered payload —
+    /// byte-identical to the corresponding figure binary's standard output
+    /// (`println!("{table}")`, i.e. the table text plus a trailing
+    /// newline).
+    pub fn execute(&self) -> String {
+        let params = self.to_params();
+        let table = self.run_table(&params);
+        format!("{table}\n")
+    }
+
+    fn run_table(&self, params: &ExpParams) -> Table {
+        match self.experiment {
+            ExperimentId::Fig1 => experiments::fig1::run(),
+            ExperimentId::Table1 => experiments::table1::run(),
+            ExperimentId::Table2 => experiments::table2::run(params),
+            ExperimentId::Fig3 => experiments::fig3::run(params),
+            ExperimentId::Fig4 => experiments::fig4::run(params),
+            ExperimentId::Fig5 => experiments::fig5::run(params),
+            ExperimentId::Fig6 => experiments::fig6::run(params),
+            ExperimentId::Fig7 => experiments::fig7::run(params),
+            ExperimentId::Fig8 => experiments::fig8::run(params),
+            ExperimentId::Fig9 => experiments::fig9::run(params),
+        }
+    }
+}
+
+/// A deterministic request mix for the load generator and tests: request
+/// `index` of a seeded stream. Drawn from the cheap presets so load runs
+/// measure the serving stack, not multi-minute simulations; the stream
+/// revisits specs, which is what exercises the result cache.
+pub fn mixed_request(seed: u64, index: u64) -> RunRequest {
+    // The mix seed becomes part of the property name, the request index the
+    // case number: the stream is a pure function of (seed, index).
+    let mut g = hbc_ptest::Gen::from_case(&format!("hbc-load mix {seed}"), index as u32);
+    const EXPERIMENTS: [ExperimentId; 4] =
+        [ExperimentId::Fig4, ExperimentId::Fig5, ExperimentId::Fig6, ExperimentId::Table2];
+    let mut request = RunRequest::new(*g.pick(&EXPERIMENTS));
+    request.preset = Preset::Fast;
+    // A small seed pool: repeats are frequent, so cache hits dominate
+    // after the first visits — the serving regime the cache exists for.
+    request.seed = 40 + g.u64_below(4);
+    request
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_binaries() {
+        let r = RunRequest::from_json_text("{\"experiment\":\"fig6\"}").unwrap();
+        assert_eq!(r, RunRequest::new(ExperimentId::Fig6));
+        assert_eq!(r.to_params().instructions, ExpParams::standard().instructions);
+        assert_eq!(r.to_params().seed, 42);
+        assert_eq!(r.to_params().jobs, 1);
+    }
+
+    #[test]
+    fn canonicalization_fills_defaults_and_drops_jobs() {
+        let terse = RunRequest::from_json_text("{\"experiment\":\"fig4\"}").unwrap();
+        let verbose = RunRequest::from_json_text(
+            "{\"experiment\":\"fig4\",\"jobs\":8,\"preset\":\"standard\",\
+             \"reps\":false,\"seed\":42}",
+        )
+        .unwrap();
+        assert_eq!(terse.canonical(), verbose.canonical());
+        assert_eq!(terse.spec_hash(), verbose.spec_hash());
+        assert_ne!(terse.to_json(), verbose.to_json(), "jobs still round-trips");
+    }
+
+    #[test]
+    fn result_determining_fields_change_the_hash() {
+        let base = RunRequest::new(ExperimentId::Fig6);
+        let mut seeded = base.clone();
+        seeded.seed = 43;
+        let mut fast = base.clone();
+        fast.preset = Preset::Fast;
+        let mut reps = base.clone();
+        reps.reps = true;
+        let hashes = [base.spec_hash(), seeded.spec_hash(), fast.spec_hash(), reps.spec_hash()];
+        let unique: std::collections::BTreeSet<_> = hashes.iter().collect();
+        assert_eq!(unique.len(), hashes.len());
+        assert!(hashes.iter().all(|h| h.len() == 64));
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        use SpecError::*;
+        assert!(matches!(RunRequest::from_json_text("[]"), Err(NotAnObject)));
+        assert!(matches!(RunRequest::from_json_text("{}"), Err(Missing("experiment"))));
+        assert!(matches!(
+            RunRequest::from_json_text("{\"experiment\":\"fig2\"}"),
+            Err(Invalid { field: "experiment", .. })
+        ));
+        assert!(matches!(
+            RunRequest::from_json_text("{\"experiment\":\"fig6\",\"speed\":1}"),
+            Err(Unknown(f)) if f == "speed"
+        ));
+        assert!(matches!(
+            RunRequest::from_json_text("{\"experiment\":\"fig6\",\"seed\":-1}"),
+            Err(Invalid { field: "seed", .. })
+        ));
+        assert!(matches!(RunRequest::from_json_text("{oops"), Err(Json(_))));
+    }
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(id.name()), Some(id));
+        }
+        assert_eq!(ExperimentId::parse("fig2"), None);
+    }
+
+    #[test]
+    fn execute_matches_the_driver_byte_for_byte() {
+        let mut request = RunRequest::new(ExperimentId::Table2);
+        request.preset = Preset::Fast;
+        let expected = format!("{}\n", experiments::table2::run(&request.to_params()));
+        assert_eq!(request.execute(), expected);
+    }
+
+    #[test]
+    fn mixed_requests_are_deterministic_and_repeat() {
+        let a: Vec<RunRequest> = (0..64).map(|i| mixed_request(7, i)).collect();
+        let b: Vec<RunRequest> = (0..64).map(|i| mixed_request(7, i)).collect();
+        assert_eq!(a, b);
+        let hashes: std::collections::BTreeSet<String> =
+            a.iter().map(RunRequest::spec_hash).collect();
+        assert!(hashes.len() < 64, "the mix must revisit specs to exercise the cache");
+        assert!(hashes.len() > 1, "the mix must cover more than one spec");
+        assert_ne!(a, (0..64).map(|i| mixed_request(8, i)).collect::<Vec<_>>());
+    }
+}

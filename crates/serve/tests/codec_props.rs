@@ -1,0 +1,138 @@
+//! Property tests for the wire codec: JSON round-trips, request-spec
+//! round-trips, canonicalization invariants, and metrics-export
+//! parseability — all on the deterministic `hbc-ptest` harness.
+
+use hbc_ptest::{assert_injective, check, Gen};
+use hbc_serve::json::Json;
+use hbc_serve::metrics::Metrics;
+use hbc_serve::spec::{mixed_request, ExperimentId, Preset, RunRequest};
+
+/// A random JSON value of bounded depth. Covers every variant, exact
+/// integers above 2^53, negative and fractional floats, and strings with
+/// escapes and astral characters.
+fn arb_json(g: &mut Gen, depth: usize) -> Json {
+    let kinds = if depth == 0 { 5 } else { 7 };
+    match g.u64_below(kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool()),
+        2 => Json::U64(g.u64_in(0, u64::MAX)),
+        3 => {
+            // Finite floats only: non-finite values have no JSON spelling.
+            let x = g.f64_in(-1e15, 1e15);
+            Json::F64(if g.bool() { x } else { x / 1e12 })
+        }
+        4 => Json::Str(arb_string(g)),
+        5 => Json::Arr(g.vec(0, 4, |g| arb_json(g, depth - 1))),
+        _ => {
+            let pairs = g.vec(0, 4, |g| (arb_string(g), arb_json(g, depth - 1)));
+            Json::Obj(pairs.into_iter().collect())
+        }
+    }
+}
+
+fn arb_string(g: &mut Gen) -> String {
+    g.vec(0, 12, |g| match g.u64_below(4) {
+        0 => *g.pick(&['a', 'Z', '0', ' ', 'é', '∞', '😀']),
+        1 => *g.pick(&['"', '\\', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}']),
+        2 => char::from(g.u32_in(0x20, 0x7e) as u8),
+        _ => char::from_u32(g.u32_in(0xa0, 0x2fff)).unwrap_or('x'),
+    })
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn json_render_parse_round_trips() {
+    check("json round-trip", 512, |g| {
+        let v = arb_json(g, 3);
+        let rendered = v.render();
+        let parsed = Json::parse(&rendered).expect("canonical rendering parses");
+        assert_eq!(parsed, v, "render: {rendered}");
+        // Canonical rendering is a fixed point.
+        assert_eq!(parsed.render(), rendered);
+    });
+}
+
+fn arb_request(g: &mut Gen) -> RunRequest {
+    let mut request = RunRequest::new(*g.pick(&ExperimentId::ALL));
+    request.preset = *g.pick(&[Preset::Fast, Preset::Standard, Preset::Full]);
+    request.reps = g.bool();
+    request.seed = g.u64_in(0, u64::MAX);
+    request.jobs = g.usize_in(1, 64);
+    request
+}
+
+#[test]
+fn run_request_round_trips_through_json() {
+    check("spec round-trip", 512, |g| {
+        let request = arb_request(g);
+        let decoded = RunRequest::from_json_text(&request.to_json()).expect("own JSON decodes");
+        assert_eq!(decoded, request);
+    });
+}
+
+#[test]
+fn canonical_form_is_a_fixed_point_that_drops_jobs() {
+    check("spec canonicalization", 512, |g| {
+        let request = arb_request(g);
+        let reparsed =
+            RunRequest::from_json_text(&request.canonical()).expect("canonical form decodes");
+        // Decoding the canonical form resets `jobs` to the default…
+        let mut expected = request.clone();
+        expected.jobs = 1;
+        assert_eq!(reparsed, expected);
+        // …without moving the content address.
+        assert_eq!(reparsed.spec_hash(), request.spec_hash());
+        assert_eq!(reparsed.canonical(), request.canonical());
+    });
+}
+
+#[test]
+fn distinct_result_determining_fields_get_distinct_cache_keys() {
+    let presets = [Preset::Fast, Preset::Standard, Preset::Full];
+    let mut domain = Vec::new();
+    for experiment in ExperimentId::ALL {
+        for preset in presets {
+            for reps in [false, true] {
+                for seed in [0u64, 1, 42] {
+                    let mut r = RunRequest::new(experiment);
+                    (r.preset, r.reps, r.seed) = (preset, reps, seed);
+                    domain.push(r);
+                }
+            }
+        }
+    }
+    assert_injective("spec_hash over request space", domain, RunRequest::spec_hash);
+}
+
+#[test]
+fn load_mix_specs_always_decode() {
+    check("load mix decodes", 256, |g| {
+        let request = mixed_request(g.u64_below(100), g.u64_below(10_000));
+        let decoded = RunRequest::from_json_text(&request.to_json()).expect("mix spec decodes");
+        assert_eq!(decoded, request);
+    });
+}
+
+#[test]
+fn metrics_export_parses_and_reflects_counts() {
+    check("metrics export", 64, |g| {
+        let m = Metrics::default();
+        let requests = g.u64_below(50);
+        let hits = g.u64_below(50);
+        for _ in 0..requests {
+            m.requests.inc();
+        }
+        for _ in 0..hits {
+            m.cache_hits_memory.inc();
+        }
+        for _ in 0..g.u64_below(20) {
+            m.record_latency(g.u64_below(1_000_000));
+        }
+        let exported = Json::parse(&m.to_registry().to_json()).expect("export parses");
+        let counters =
+            exported.as_obj().expect("object")["counters"].as_obj().expect("counters object");
+        assert_eq!(counters["serve.http.requests"].as_u64(), Some(requests));
+        assert_eq!(counters["serve.cache.hits.memory"].as_u64(), Some(hits));
+    });
+}
