@@ -1,0 +1,21 @@
+// cast-truncation allowed fixture: widening, indexing, non-state values,
+// and one audited bounded narrowing.
+
+fn widen(cycles: u32) -> u64 {
+    u64::from(cycles)
+}
+
+fn index(addr: u64) -> usize {
+    // `as usize` is the indexing conversion and deliberately exempt.
+    addr as usize
+}
+
+fn pack_flags(flags: u64) -> u8 {
+    // Not simulation state: no suspect name involved.
+    flags as u8
+}
+
+fn bank_of(addr: u64, nbanks: u32) -> u32 {
+    // hbc-allow: cast-truncation (bounded by % nbanks, which is u32)
+    (addr % u64::from(nbanks)) as u32
+}

@@ -1,0 +1,16 @@
+// cast-truncation violation fixture: narrowing casts on simulation-state
+// values. Scanned as a simulation crate (`hbc-mem`).
+
+fn wrap_at_two_hours(total_cycles: u64) -> u32 {
+    // Wraps after 2^32 cycles — ~2.5 simulated hours at 1 GHz.
+    total_cycles as u32
+}
+
+fn alias_above_4g(addr: u64) -> u32 {
+    // Addresses above 4 GiB alias lower ones.
+    addr as u32
+}
+
+fn saturate_stats(hit_count: u64, miss_count: u64) -> (u16, u8) {
+    (hit_count as u16, miss_count as u8)
+}

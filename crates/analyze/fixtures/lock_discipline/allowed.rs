@@ -1,0 +1,60 @@
+// lock-discipline allowed fixture: the disciplined patterns the real
+// server uses. Scanned as crate `hbc-serve`.
+
+// Consistent lock order: alpha before beta, everywhere.
+fn order_one(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    a.push(1);
+    b.push(2);
+}
+
+fn order_two(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    b.push(1);
+    a.push(2);
+}
+
+// Explicit drop before the socket write.
+fn drop_then_respond(s: &Shared, stream: &mut TcpStream) {
+    let queue = lock(&s.queue);
+    let depth = queue.len();
+    drop(queue);
+    stream.write_all(b"HTTP/1.1 429 Too Many Requests\r\n\r\n");
+    log(depth);
+}
+
+// Block-scoped guard: dead before the I/O.
+fn scoped_then_respond(s: &Shared, stream: &mut TcpStream) {
+    let body = {
+        let cache = s.cache.lock();
+        cache.get_cloned()
+    };
+    stream.write_all(&body);
+}
+
+// Unbound temporary: dead at the end of its statement.
+fn temporary_then_read(s: &Shared, stream: &mut TcpStream) {
+    lock(&s.counts).insert(1);
+    let mut buf = [0u8; 64];
+    stream.read(&mut buf);
+}
+
+// Condvar wait: releases the mutex while blocked, so not blocking I/O.
+fn wait_for_result(s: &Shared) -> u64 {
+    let mut state = s.state.lock();
+    loop {
+        if let Some(v) = state.value {
+            return v;
+        }
+        state = s.cv.wait_timeout(state, timeout).0;
+    }
+}
+
+// Audited exception: justified single-threaded startup path.
+fn startup_banner(s: &Shared, stream: &mut TcpStream) {
+    let g = s.state.lock();
+    // hbc-allow: lock-discipline (startup runs before any worker thread exists)
+    stream.write_all(g.banner());
+}

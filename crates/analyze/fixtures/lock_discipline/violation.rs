@@ -1,0 +1,24 @@
+// lock-discipline violation fixture: an AB/BA lock-order cycle plus a
+// guard held across blocking socket I/O. Scanned as crate `hbc-serve`.
+
+fn order_ab(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    b.push(1);
+    a.push(2);
+}
+
+fn order_ba(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    a.push(1);
+    b.push(2);
+}
+
+fn respond_while_locked(s: &Shared, stream: &mut TcpStream) {
+    let guard = lock(&s.in_flight);
+    // The guard is still live here: every other worker now waits on this
+    // socket's peer.
+    stream.write_all(b"HTTP/1.1 200 OK\r\n\r\n");
+    guard.touch();
+}

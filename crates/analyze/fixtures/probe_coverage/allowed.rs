@@ -1,0 +1,29 @@
+// probe-coverage allowed fixture: every registration handle is used,
+// every read names a registered probe of the right kind, and scoped
+// views cover registered names.
+
+fn register(reg: &mut ProbeRegistry) {
+    // Chained increment.
+    reg.counter("serve.requests.total").add(1);
+    // Bound handle.
+    let lat = reg.histogram("serve.latency.micros");
+    lat.record(12);
+    // Assigned through (snapshot export).
+    *reg.histogram("serve.queue.depth") = snapshot.clone();
+    // Passed along as an argument.
+    export(reg.counter("serve.requests.total"));
+}
+
+fn report(reg: &ProbeRegistry) -> u64 {
+    let total = reg.get("serve.requests.total");
+    let lat = reg.get_histogram("serve.latency.micros");
+    let view = reg.scoped("serve");
+    // Single-segment literals are map keys, not probe names: ignored.
+    let run = config.get("experiment");
+    combine(total, lat, view, run)
+}
+
+fn reserved(reg: &mut ProbeRegistry) {
+    // hbc-allow: probe-coverage (registered so the export schema is stable before first use)
+    reg.counter("serve.reserved.slot");
+}

@@ -1,0 +1,19 @@
+// probe-coverage violation fixture: a discarded registration handle, a
+// read of a probe nothing registers, a wrong-kind accessor, and an empty
+// scoped view.
+
+fn register(reg: &mut ProbeRegistry) {
+    // Handle discarded: this statistic is a permanent zero.
+    reg.counter("serve.requests.dropped");
+    reg.counter("serve.requests.total").add(1);
+}
+
+fn report(reg: &ProbeRegistry) -> u64 {
+    // Nothing registers this name; the lookup returns None at runtime.
+    let ghost = reg.get("serve.requests.phantom");
+    // Registered as a counter, read as a histogram.
+    let wrong = reg.get_histogram("serve.requests.total");
+    // No registered name starts with `cpu.`.
+    let empty = reg.scoped("cpu");
+    combine(ghost, wrong, empty)
+}

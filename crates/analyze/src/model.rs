@@ -1,0 +1,499 @@
+//! The semantic model: items, call edges, and a workspace symbol table
+//! built from the [`crate::lexer`] token stream.
+//!
+//! This is what turns the analyzer from a line scanner into a (small)
+//! program analyzer. For every scanned file the model extracts:
+//!
+//! * **functions** — name, visibility, owning `impl` target, the token
+//!   ranges of the signature and body;
+//! * **impl blocks** — target type and trait (if any);
+//! * **structs** — name and field list;
+//! * **call edges** — within each function body, the plain (non-method)
+//!   calls that can be resolved to a function defined in the same crate.
+//!
+//! Resolution is deliberately conservative: a call resolves only when the
+//! callee name names *exactly one* function in the crate — ambiguous names
+//! (`new`, `get`) resolve to nothing rather than to the wrong thing. That
+//! keeps whole-program rules like `lock-discipline` free of false paths at
+//! the cost of missing some true ones, the right trade for a gate that
+//! must stay at zero unaudited findings.
+//!
+//! The line model ([`crate::source`]) remains the authority on
+//! `hbc-allow` annotations and `#[cfg(test)]` boundaries; the model caries
+//! a reference to it so rules can gate token-level findings on line-level
+//! context.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A function (free or associated) found in a file.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True when declared `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// The `impl` target type this function is an associated item of,
+    /// if any (`Flight` for `impl Flight { fn wait … }`).
+    pub impl_target: Option<String>,
+    /// Token index range of the signature (from `fn` to the body brace or
+    /// terminating semicolon, exclusive).
+    pub sig: Range<usize>,
+    /// Token index range of the body, *including* the delimiting braces.
+    /// Empty for bodyless declarations.
+    pub body: Range<usize>,
+}
+
+/// A struct declaration and its named fields.
+#[derive(Debug, Clone)]
+pub struct Struct {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields as `(name, type-token texts)`; empty for tuple and
+    /// unit structs.
+    pub fields: Vec<(String, Vec<String>)>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct Impl {
+    /// The self type the block implements on.
+    pub target: String,
+    /// The trait being implemented, for trait impls.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+}
+
+/// One resolved or unresolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub callee: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// True for `.callee(…)` method-syntax calls (never resolved).
+    pub is_method: bool,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+}
+
+/// Everything the model knows about one file.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// The file's full token stream.
+    pub tokens: Vec<Tok>,
+    /// Functions in source order.
+    pub functions: Vec<Function>,
+    /// Structs in source order.
+    pub structs: Vec<Struct>,
+    /// Impl blocks in source order.
+    pub impls: Vec<Impl>,
+}
+
+/// Identifies a function as (file index, function index).
+pub type FnId = (usize, usize);
+
+/// The workspace model: per-file token streams and items plus the
+/// crate-level symbol table rules query.
+#[derive(Debug)]
+pub struct Model<'a> {
+    /// The underlying line model, index-aligned with [`Model::files`].
+    pub sources: &'a [SourceFile],
+    /// Per-file models, index-aligned with `sources`.
+    pub files: Vec<FileModel>,
+    /// Crate name → function name → the `FnId`s bearing that name.
+    by_crate: BTreeMap<String, BTreeMap<String, Vec<FnId>>>,
+}
+
+impl<'a> Model<'a> {
+    /// Lexes and parses every source file into the model.
+    pub fn build(sources: &'a [SourceFile]) -> Model<'a> {
+        let files: Vec<FileModel> = sources
+            .iter()
+            .map(|src| {
+                let text: String =
+                    src.lines.iter().map(|l| l.raw.as_str()).collect::<Vec<_>>().join("\n");
+                parse_file(&lex(&text))
+            })
+            .collect();
+        let mut by_crate: BTreeMap<String, BTreeMap<String, Vec<FnId>>> = BTreeMap::new();
+        for (fi, (src, fm)) in sources.iter().zip(&files).enumerate() {
+            let table = by_crate.entry(src.crate_name.clone()).or_default();
+            for (gi, f) in fm.functions.iter().enumerate() {
+                table.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        Model { sources, files, by_crate }
+    }
+
+    /// Resolves a plain call by name within `crate_name`: `Some` exactly
+    /// when one function in the crate bears that name.
+    pub fn resolve(&self, crate_name: &str, callee: &str) -> Option<FnId> {
+        let ids = self.by_crate.get(crate_name)?.get(callee)?;
+        match ids.as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// The function named by `id`.
+    pub fn function(&self, id: FnId) -> &Function {
+        &self.files[id.0].functions[id.1]
+    }
+
+    /// Iterates `(file index, function)` over every function in
+    /// `crate_name`, in file order.
+    pub fn crate_functions<'m>(
+        &'m self,
+        crate_name: &'m str,
+    ) -> impl Iterator<Item = (usize, &'m Function)> + 'm {
+        self.sources
+            .iter()
+            .zip(&self.files)
+            .enumerate()
+            .filter(move |(_, (src, _))| src.crate_name == crate_name)
+            .flat_map(|(fi, (_, fm))| fm.functions.iter().map(move |f| (fi, f)))
+    }
+
+    /// True when 1-based `line` of file `fi` is test code.
+    pub fn is_test_line(&self, fi: usize, line: usize) -> bool {
+        self.sources[fi].lines.get(line.saturating_sub(1)).is_none_or(|l| l.is_test)
+    }
+
+    /// True when `rule` is allowed on 1-based `line` of file `fi`.
+    pub fn allowed(&self, fi: usize, line: usize, rule: &str) -> bool {
+        self.sources[fi].allowed(line, rule)
+    }
+
+    /// Plain-syntax calls inside `f`'s body (method calls excluded).
+    pub fn plain_calls(&self, fi: usize, f: &Function) -> Vec<Call> {
+        calls(&self.files[fi].tokens, f.body.clone()).into_iter().filter(|c| !c.is_method).collect()
+    }
+}
+
+/// Rust keywords that can directly precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "in", "as", "let", "mut", "ref",
+    "move", "fn", "impl", "struct", "enum", "pub", "use", "mod", "where", "unsafe", "dyn", "box",
+    "break", "continue", "crate", "super",
+];
+
+/// Extracts call sites (`ident(`) from `range` of `toks`.
+pub fn calls(toks: &[Tok], range: Range<usize>) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i + 1 < range.end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && toks[i + 1].is_punct('(')
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            let is_method = i > 0 && toks[i - 1].is_punct('.');
+            out.push(Call { callee: t.text.clone(), line: t.line, is_method, tok: i });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds the token index of the `}` matching the `{` at `open` (which
+/// must be a `{`). Falls back to the end of the stream on imbalance.
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let open_depth = toks[open].depth;
+    for (j, t) in toks.iter().enumerate().skip(open + 1) {
+        if t.is_punct('}') && t.depth == open_depth {
+            return j;
+        }
+    }
+    toks.len() - 1
+}
+
+/// Parses one file's token stream into its item model.
+fn parse_file(toks: &[Tok]) -> FileModel {
+    let mut functions = Vec::new();
+    let mut structs = Vec::new();
+    let mut impls = Vec::new();
+    // Impl targets as (body token range, target) so functions can find
+    // their owner by containment.
+    let mut impl_ranges: Vec<(Range<usize>, String)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((imp, body)) = parse_impl(toks, i) {
+                impl_ranges.push((body, imp.target.clone()));
+                impls.push(imp);
+            }
+            i += 1;
+        } else if t.is_ident("struct") {
+            if let Some((s, next)) = parse_struct(toks, i) {
+                structs.push(s);
+                i = next;
+            } else {
+                i += 1;
+            }
+        } else if t.is_ident("fn") {
+            if let Some(f) = parse_fn(toks, i, &impl_ranges) {
+                i = if f.body.is_empty() { f.sig.end } else { f.body.end };
+                functions.push(f);
+            } else {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    FileModel { tokens: toks.to_vec(), functions, structs, impls }
+}
+
+/// Parses the `impl` whose keyword sits at `at`; returns the item and its
+/// body token range.
+fn parse_impl(toks: &[Tok], at: usize) -> Option<(Impl, Range<usize>)> {
+    let line = toks[at].line;
+    // Collect the header idents up to the opening brace; `impl<T> Tr for
+    // Ty<T> { … }` has header idents [T, Tr, for, Ty, T].
+    let open = (at + 1..toks.len()).find(|&j| toks[j].is_punct('{'))?;
+    // Skip generic parameters directly after `impl` by tracking `<…>`.
+    let mut angle = 0i32;
+    let mut names: Vec<(&str, bool)> = Vec::new(); // (ident, inside generics)
+    for t in &toks[at + 1..open] {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.kind == TokKind::Ident {
+            names.push((t.text.as_str(), angle > 0));
+        }
+    }
+    let for_pos = names.iter().position(|(n, ing)| *n == "for" && !ing);
+    let target = match for_pos {
+        Some(p) => names[p + 1..].iter().find(|(_, ing)| !ing).map(|(n, _)| *n)?,
+        None => names.iter().find(|(_, ing)| !ing).map(|(n, _)| *n)?,
+    };
+    // For trait impls, the trait is the last path segment before `for`
+    // (`impl std::fmt::Display for Cache` → `Display`).
+    let trait_name = for_pos
+        .and_then(|p| names[..p].iter().rev().find(|(_, ing)| !ing).map(|(n, _)| n.to_string()));
+    let close = matching_brace(toks, open);
+    Some((Impl { target: target.to_string(), trait_name, line }, open..close + 1))
+}
+
+/// Parses the `struct` whose keyword sits at `at`; returns the item and
+/// the token index to continue from.
+fn parse_struct(toks: &[Tok], at: usize) -> Option<(Struct, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let line = toks[at].line;
+    let name = name_tok.text.clone();
+    // Find what ends the declaration: `{` (named fields), `(` (tuple), or
+    // `;` (unit) — whichever comes first at angle-depth zero.
+    let mut angle = 0i32;
+    let mut j = at + 2;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+            break;
+        }
+        j += 1;
+    }
+    let mut fields = Vec::new();
+    let mut next = j + 1;
+    if j < toks.len() && toks[j].is_punct('{') {
+        let close = matching_brace(toks, j);
+        let field_depth = toks[j].depth + 1;
+        let mut k = j + 1;
+        while k < close {
+            // A field is `ident :` at the field depth (skipping `pub` and
+            // attributes); collect type tokens until the `,` at that depth.
+            if toks[k].kind == TokKind::Ident
+                && toks[k].depth == field_depth
+                && !toks[k].is_ident("pub")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            {
+                let fname = toks[k].text.clone();
+                let mut ty = Vec::new();
+                let mut m = k + 2;
+                while m < close && !(toks[m].is_punct(',') && toks[m].depth == field_depth) {
+                    ty.push(toks[m].text.clone());
+                    m += 1;
+                }
+                fields.push((fname, ty));
+                k = m + 1;
+            } else {
+                k += 1;
+            }
+        }
+        next = close + 1;
+    }
+    Some((Struct { name, line, fields }, next))
+}
+
+/// Parses the `fn` whose keyword sits at `at`.
+fn parse_fn(toks: &[Tok], at: usize, impl_ranges: &[(Range<usize>, String)]) -> Option<Function> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn` in a type position (`fn(u32) -> u32`)
+    }
+    let line = toks[at].line;
+    // Visibility: walk back over qualifier tokens (`pub`, `(crate)`,
+    // `const`, `unsafe`, `async`, `extern`) without crossing an item
+    // boundary, and see whether one of them is `pub`.
+    let mut is_pub = false;
+    let mut back = at;
+    while back > 0 {
+        let t = &toks[back - 1];
+        let qualifier = t.is_ident("pub")
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.kind == TokKind::Str; // `extern "C"`
+        if !qualifier {
+            break;
+        }
+        if t.is_ident("pub") {
+            is_pub = true;
+        }
+        back -= 1;
+    }
+    // The signature runs to the body `{` or a `;`, at the fn's own depth
+    // (default-value braces cannot appear in signatures).
+    let fn_depth = toks[at].depth;
+    let mut j = at + 1;
+    let mut body = 0..0;
+    let mut sig_end = toks.len();
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') && t.depth == fn_depth {
+            let close = matching_brace(toks, j);
+            body = j..close + 1;
+            sig_end = j;
+            break;
+        }
+        if t.is_punct(';') && t.depth == fn_depth {
+            sig_end = j;
+            break;
+        }
+        j += 1;
+    }
+    let impl_target =
+        impl_ranges.iter().find(|(range, _)| range.contains(&at)).map(|(_, target)| target.clone());
+    Some(Function {
+        name: name_tok.text.clone(),
+        line,
+        is_pub,
+        impl_target,
+        sig: at..sig_end,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn model_of(text: &str) -> FileModel {
+        parse_file(&lex(text))
+    }
+
+    #[test]
+    fn functions_with_bodies_and_signatures() {
+        let m = model_of("pub fn alpha(x: u64) -> u64 { beta(x) }\nfn beta(x: u64) -> u64 { x }\n");
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.functions[0].name, "alpha");
+        assert!(m.functions[0].is_pub);
+        assert!(!m.functions[1].is_pub);
+        let body_calls = calls(&m.tokens, m.functions[0].body.clone());
+        assert_eq!(body_calls.len(), 1);
+        assert_eq!(body_calls[0].callee, "beta");
+        assert!(!body_calls[0].is_method);
+    }
+
+    #[test]
+    fn impl_targets_attach_to_functions() {
+        let text = "struct Cache;\nimpl Cache {\n    pub fn get(&self) {}\n}\n\
+                    impl std::fmt::Display for Cache {\n    fn fmt(&self, f: &mut F) -> R { todo!() }\n}\n";
+        let m = model_of(text);
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].target, "Cache");
+        assert_eq!(m.impls[1].target, "Cache");
+        assert_eq!(m.impls[1].trait_name.as_deref(), Some("Display"));
+        let get = m.functions.iter().find(|f| f.name == "get").unwrap();
+        assert_eq!(get.impl_target.as_deref(), Some("Cache"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let m = model_of("impl<T: Clone> Holder<T> {\n    fn take(&self) {}\n}\n");
+        assert_eq!(m.impls[0].target, "Holder");
+        assert_eq!(m.functions[0].impl_target.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn struct_fields_are_extracted() {
+        let text = "pub struct FooConfig {\n    pub banks: u32,\n    line_bytes: u64,\n}\n\
+                    struct Unit;\nstruct Pair(u32, u32);\n";
+        let m = model_of(text);
+        assert_eq!(m.structs.len(), 3);
+        let foo = &m.structs[0];
+        assert_eq!(foo.name, "FooConfig");
+        assert_eq!(foo.fields.len(), 2);
+        assert_eq!(foo.fields[0].0, "banks");
+        assert_eq!(foo.fields[1].1, ["u64"]);
+        assert!(m.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn method_calls_are_marked() {
+        let m = model_of("fn f(x: &X) { x.load(); store(x); }\n");
+        let cs = calls(&m.tokens, m.functions[0].body.clone());
+        assert_eq!(cs.len(), 2);
+        assert!(cs[0].is_method);
+        assert!(!cs[1].is_method);
+    }
+
+    #[test]
+    fn resolution_requires_uniqueness() {
+        let a = SourceFile::parse(
+            PathBuf::from("a.rs"),
+            "hbc-serve",
+            "fn only_here() {}\nfn new() {}\n",
+            false,
+        );
+        let b = SourceFile::parse(PathBuf::from("b.rs"), "hbc-serve", "fn new() {}\n", false);
+        let sources = [a, b];
+        let model = Model::build(&sources);
+        assert!(model.resolve("hbc-serve", "only_here").is_some());
+        assert!(model.resolve("hbc-serve", "new").is_none(), "ambiguous names never resolve");
+        assert!(model.resolve("hbc-mem", "only_here").is_none(), "resolution is per-crate");
+    }
+
+    #[test]
+    fn multi_line_signatures_span_lines() {
+        let m = model_of("pub fn blend(\n    a: Fo4,\n    b: u64,\n) -> Fo4 {\n    a\n}\n");
+        let f = &m.functions[0];
+        let sig_texts: Vec<&str> =
+            m.tokens[f.sig.clone()].iter().map(|t| t.text.as_str()).collect();
+        assert!(sig_texts.contains(&"u64"));
+        assert!(sig_texts.contains(&"Fo4"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Rule `cast-truncation`: in simulation-state crates, no narrowing `as`
+//! cast on a value whose name says it is a cycle count, address, or
+//! statistic.
+//!
+//! The simulator's cycle counters and addresses are `u64` by design; a
+//! `cycles as u32` is correct for two and a half hours of simulated time
+//! at 1 GHz and then silently wraps, and an `addr as u32` truncates any
+//! address above 4 GiB to an alias of a lower one — both produce wrong
+//! numbers, not crashes. The rule flags `as {u8,u16,u32,i8,i16,i32}`
+//! where an identifier earlier on the same line contains a suspect
+//! substring (`cycle`, `addr`, `stamp`, `stat`, `hit`, `miss`, `tick`,
+//! `inst`). `as usize` is deliberately exempt: it is the indexing
+//! conversion and platform-width. Intentional narrowings (e.g. a bank
+//! index already bounded by `% nbanks`) carry an audited
+//! `// hbc-allow: cast-truncation` with the justification.
+
+use crate::model::Model;
+use crate::{Finding, SIM_CRATES};
+
+/// Narrowing integer targets. `usize` is exempt (indexing conversion).
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Name fragments that mark a value as simulation state.
+const SUSPECT: &[&str] = &["cycle", "addr", "stamp", "stat", "hit", "miss", "tick", "inst"];
+
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        if !SIM_CRATES.contains(&src.crate_name.as_str()) {
+            continue;
+        }
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if !tok.is_ident("as")
+                || model.is_test_line(fi, tok.line)
+                || model.allowed(fi, tok.line, "cast-truncation")
+            {
+                continue;
+            }
+            let Some(target) = fm.tokens.get(ti + 1) else { continue };
+            if !target.is_ident_kind() || !NARROW.contains(&target.text.as_str()) {
+                continue;
+            }
+            // Look back over the same line for a suspect value name.
+            let suspect =
+                fm.tokens[..ti].iter().rev().take_while(|t| t.line == tok.line).find(|t| {
+                    t.is_ident_kind() && {
+                        let lower = t.text.to_ascii_lowercase();
+                        SUSPECT.iter().any(|s| lower.contains(s))
+                    }
+                });
+            if let Some(value) = suspect {
+                findings.push(Finding {
+                    rule: "cast-truncation",
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "`{} as {}` narrows a simulation-state value in {} — keep u64 \
+                         (or justify the bound with hbc-allow)",
+                        value.text, target.text, src.crate_name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(crate_name: &str, text: &str) -> Vec<Finding> {
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)];
+        check(&Model::build(&files))
+    }
+
+    #[test]
+    fn narrowing_cycle_cast_fires() {
+        let f = run("hbc-cpu", "fn f(cycles: u64) -> u32 {\n    cycles as u32\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("cycles as u32"));
+    }
+
+    #[test]
+    fn addr_and_stat_names_fire() {
+        assert_eq!(run("hbc-mem", "let x = addr as u16;\n").len(), 1);
+        assert_eq!(run("hbc-mem", "let x = hit_count as u8;\n").len(), 1);
+    }
+
+    #[test]
+    fn usize_and_widening_are_exempt() {
+        assert!(run("hbc-mem", "let i = addr as usize;\n").is_empty());
+        assert!(run("hbc-mem", "let w = addr as u128;\n").is_empty());
+        assert!(run("hbc-mem", "let f = cycles as f64;\n").is_empty());
+    }
+
+    #[test]
+    fn non_suspect_names_pass() {
+        assert!(run("hbc-mem", "let b = flags as u8;\n").is_empty());
+        assert!(run("hbc-mem", "let n = width as u32;\n").is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_tests_and_allows_are_exempt() {
+        assert!(run("hbc-serve", "let x = addr as u32;\n").is_empty());
+        assert!(run("hbc-mem", "#[cfg(test)]\nmod t {\n fn f() { let x = addr as u32; }\n}\n")
+            .is_empty());
+        assert!(run(
+            "hbc-mem",
+            "// hbc-allow: cast-truncation (bounded by % nbanks)\nlet x = addr as u32;\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/cast_truncation");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run("hbc-mem", &bad).is_empty());
+        assert!(run("hbc-mem", &ok).is_empty());
+    }
+}

@@ -4,47 +4,69 @@
 //! A config struct without a checked `validate()` is how impossible cache
 //! geometries (zero banks, non-power-of-two lines) sneak into simulations
 //! and produce garbage numbers instead of errors.
+//!
+//! Ported to the semantic model: `*Config` structs come from the item
+//! model, `fn validate` methods are [`crate::model::Function`]s whose
+//! `impl_target` names the struct, and "the crate calls validation" is a
+//! token-level scan for `.validate(` sequences outside tests.
 
-use crate::source::{tokens, SourceFile};
+use crate::model::Model;
 use crate::{Finding, SIM_CRATES};
 
-/// Runs the rule over all files.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     for crate_name in SIM_CRATES {
-        let crate_files: Vec<&SourceFile> =
-            files.iter().filter(|f| f.crate_name == *crate_name).collect();
-        // Pass 1: which types have an inherent-impl `fn validate`?
-        let mut validated: Vec<String> = Vec::new();
+        let indices: Vec<usize> = model
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, src)| src.crate_name == *crate_name)
+            .map(|(fi, _)| fi)
+            .collect();
+        // Pass 1: types with an impl'd `fn validate`, and whether any
+        // non-test code calls `.validate(`.
+        let mut validated: Vec<&str> = Vec::new();
         let mut any_call = false;
-        for file in &crate_files {
-            collect_validated_impls(file, &mut validated);
-            if file.lines.iter().any(|l| !l.is_test && l.code.contains(".validate(")) {
-                any_call = true;
+        for &fi in &indices {
+            for func in &model.files[fi].functions {
+                if func.name == "validate" {
+                    if let Some(target) = func.impl_target.as_deref() {
+                        validated.push(target);
+                    }
+                }
+            }
+            let toks = &model.files[fi].tokens;
+            for (ti, tok) in toks.iter().enumerate() {
+                if tok.is_ident("validate")
+                    && ti > 0
+                    && toks[ti - 1].is_punct('.')
+                    && toks.get(ti + 1).is_some_and(|t| t.is_punct('('))
+                    && !model.is_test_line(fi, tok.line)
+                {
+                    any_call = true;
+                }
             }
         }
         // Pass 2: every declared `*Config` struct must be in that set.
         let mut configs = 0;
-        for file in &crate_files {
-            for (idx, line) in file.lines.iter().enumerate() {
-                let lineno = idx + 1;
-                if line.is_test || file.allowed(lineno, "config-validate") {
-                    continue;
-                }
-                let toks: Vec<&str> = tokens(&line.code).map(|(_, t)| t).collect();
-                let Some(pos) = toks.iter().position(|t| *t == "struct") else { continue };
-                let Some(name) = toks.get(pos + 1) else { continue };
-                if !name.ends_with("Config") {
+        for &fi in &indices {
+            for st in &model.files[fi].structs {
+                if !st.name.ends_with("Config")
+                    || model.is_test_line(fi, st.line)
+                    || model.allowed(fi, st.line, "config-validate")
+                {
                     continue;
                 }
                 configs += 1;
-                if !validated.iter().any(|v| v == name) {
+                if !validated.iter().any(|v| *v == st.name) {
                     findings.push(Finding {
                         rule: "config-validate",
-                        path: file.path.clone(),
-                        line: lineno,
+                        path: model.sources[fi].path.clone(),
+                        line: st.line,
                         message: format!(
-                            "struct `{name}` has no `fn validate` in an `impl {name}` block"
+                            "struct `{}` has no `fn validate` in an `impl {}` block",
+                            st.name, st.name
                         ),
                     });
                 }
@@ -52,10 +74,10 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
         }
         // Pass 3: validation that is never invoked is dead armor.
         if configs > 0 && !any_call {
-            if let Some(first) = crate_files.first() {
+            if let Some(&first) = indices.first() {
                 findings.push(Finding {
                     rule: "config-validate",
-                    path: first.path.clone(),
+                    path: model.sources[first].path.clone(),
                     line: 1,
                     message: format!(
                         "crate {crate_name} declares Config structs but never calls .validate()"
@@ -67,56 +89,6 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     findings
 }
 
-/// Records type names whose inherent `impl` block contains `fn validate`.
-/// Trait impls (`impl Trait for Type`) attribute to `Type`, which is
-/// harmless for this rule.
-fn collect_validated_impls(file: &SourceFile, validated: &mut Vec<String>) {
-    let mut idx = 0;
-    while idx < file.lines.len() {
-        let line = &file.lines[idx];
-        let toks: Vec<&str> = tokens(&line.code).map(|(_, t)| t).collect();
-        let Some(pos) = toks.iter().position(|t| *t == "impl") else {
-            idx += 1;
-            continue;
-        };
-        // `impl Type` or `impl Trait for Type`.
-        let target = match toks.iter().position(|t| *t == "for") {
-            Some(fp) if fp > pos => toks.get(fp + 1),
-            _ => toks.get(pos + 1),
-        };
-        let Some(target) = target else {
-            idx += 1;
-            continue;
-        };
-        let target = target.to_string();
-        // Walk the impl block by brace depth, looking for `fn validate`.
-        let mut depth: i64 = 0;
-        let mut opened = false;
-        let mut j = idx;
-        while j < file.lines.len() {
-            let code = &file.lines[j].code;
-            if code.contains("fn validate") && !validated.contains(&target) {
-                validated.push(target.clone());
-            }
-            for c in code.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if opened && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        idx = j + 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,7 +96,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(text: &str) -> Vec<Finding> {
-        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)])
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]

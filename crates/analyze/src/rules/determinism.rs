@@ -6,8 +6,13 @@
 //! run (SipHash keys are randomized), `Instant`/`SystemTime` read the wall
 //! clock, and `thread_rng`-style ambient RNGs are unseeded — any of these
 //! in a [`crate::SIM_CRATES`] member can silently break reproducibility.
+//!
+//! Ported to the semantic model: the scan walks the lexer token stream, so
+//! a forbidden identifier inside a string or comment can never fire and
+//! multi-line constructs need no special casing.
 
-use crate::source::{tokens, SourceFile};
+use crate::lexer::TokKind;
+use crate::model::Model;
 use crate::{Finding, SIM_CRATES};
 
 /// Identifier tokens forbidden in simulation crates, with the suggestion
@@ -21,36 +26,42 @@ const FORBIDDEN: &[(&str, &str)] = &[
     ("rand", "external RNG crate; use the seeded workload RNG"),
 ];
 
-/// Runs the rule over all files.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files {
-        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        if !SIM_CRATES.contains(&src.crate_name.as_str()) {
             continue;
         }
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "determinism") {
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident
+                || model.is_test_line(fi, tok.line)
+                || model.allowed(fi, tok.line, "determinism")
+            {
                 continue;
             }
-            for (_, tok) in tokens(&line.code) {
-                if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok) {
-                    findings.push(Finding {
-                        rule: "determinism",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!("`{name}` in {}: {why}", file.crate_name),
-                    });
-                }
-            }
-            if line.code.contains("std::time") && !line.code.contains("std::time::Duration") {
+            if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok.text) {
                 findings.push(Finding {
                     rule: "determinism",
-                    path: file.path.clone(),
-                    line: lineno,
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!("`{name}` in {}: {why}", src.crate_name),
+                });
+            }
+            // `std::time::<anything but Duration>` is wall-clock adjacent.
+            if tok.is_ident("time")
+                && ti >= 3
+                && fm.tokens[ti - 1].is_punct(':')
+                && fm.tokens[ti - 3].is_ident("std")
+                && !fm.tokens.get(ti + 3).is_some_and(|t| t.is_ident("Duration"))
+            {
+                findings.push(Finding {
+                    rule: "determinism",
+                    path: src.path.clone(),
+                    line: tok.line,
                     message: format!(
                         "`std::time` in {}: wall-clock time is nondeterministic",
-                        file.crate_name
+                        src.crate_name
                     ),
                 });
             }
@@ -66,7 +77,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(crate_name: &str, text: &str) -> Vec<Finding> {
-        check(&[SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)])
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]
@@ -74,6 +86,12 @@ mod tests {
         let f = run("hbc-mem", "use std::collections::HashMap;\n");
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn flags_std_time_but_not_duration() {
+        assert_eq!(run("hbc-mem", "use std::time::UNIX_EPOCH;\n").len(), 1);
+        assert!(run("hbc-mem", "use std::time::Duration;\n").is_empty());
     }
 
     #[test]
@@ -92,6 +110,7 @@ mod tests {
     #[test]
     fn strings_do_not_fire() {
         assert!(run("hbc-isa", "let s = \"HashMap\";\n").is_empty());
+        assert!(run("hbc-isa", "let s = \"multi\nline Instant\nstring\";\n").is_empty());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! (the work-stealing cell counter) remain fine because they never carry
 //! results.
 
-use crate::source::{tokens, SourceFile};
+use crate::lexer::TokKind;
+use crate::model::Model;
 use crate::{Finding, SIM_CRATES};
 
 /// Identifier tokens forbidden in simulation crates, with the suggestion
@@ -25,27 +26,27 @@ const FORBIDDEN: &[(&str, &str)] = &[
     ("channel", "channel receive order is arrival order; collect (index, result) pairs and write slots after the join"),
 ];
 
-/// Runs the rule over all files.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files {
-        if !SIM_CRATES.contains(&file.crate_name.as_str()) {
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        if !SIM_CRATES.contains(&src.crate_name.as_str()) {
             continue;
         }
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "exec-merge") {
+        for tok in &fm.tokens {
+            if tok.kind != TokKind::Ident
+                || model.is_test_line(fi, tok.line)
+                || model.allowed(fi, tok.line, "exec-merge")
+            {
                 continue;
             }
-            for (_, tok) in tokens(&line.code) {
-                if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok) {
-                    findings.push(Finding {
-                        rule: "exec-merge",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!("`{name}` in {}: {why}", file.crate_name),
-                    });
-                }
+            if let Some((name, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok.text) {
+                findings.push(Finding {
+                    rule: "exec-merge",
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!("`{name}` in {}: {why}", src.crate_name),
+                });
             }
         }
     }
@@ -59,7 +60,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(crate_name: &str, text: &str) -> Vec<Finding> {
-        check(&[SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)])
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Rule `lock-discipline`: in the lock-bearing crates
+//! ([`crate::LOCK_CRATES`]), no mutex guard may be held across blocking
+//! I/O, and pairwise lock-acquisition order must be consistent.
+//!
+//! Both hazards are whole-server failure modes the type system does not
+//! catch. A guard held across `accept`/`read`/`write` serializes every
+//! peer behind the slowest socket (and can deadlock outright when the
+//! blocked peer needs the same lock to make progress). Two threads taking
+//! locks A and B in opposite orders deadlock the first time their
+//! critical sections overlap; the bug is invisible until load makes the
+//! interleaving happen.
+//!
+//! The analysis walks each function body in the lexer token stream and
+//! tracks live guards:
+//!
+//! * **acquisition** — a call to the crate's poison-recovering `lock(&x)`
+//!   helper (lock name = last field identifier of the argument) or an
+//!   `x.lock()` method call (lock name = last identifier of the
+//!   receiver);
+//! * **death** — a `let`-bound guard dies when its enclosing block closes
+//!   or at an explicit `drop(name)`; an unbound temporary dies at the end
+//!   of its statement (`;`) or at the next `{` (conservative for
+//!   `if let Some(v) = lock(&x).get(..) {` — the temporary is treated as
+//!   dead inside the block, which matches the dominant idiom here of
+//!   cloning out of the guard).
+//!
+//! While a guard is live, a blocking-I/O identifier (socket/stream verbs;
+//! *not* `Condvar::wait`, which releases the lock) is a finding, and a
+//! second acquisition records a lock-order edge. Both facts propagate
+//! transitively through calls the model can resolve (unique plain calls
+//! within the crate). A cycle in a crate's lock-order graph is a finding.
+
+use crate::model::{FnId, Model};
+use crate::{Finding, LOCK_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Identifiers that block on the network or a peer while called. Condvar
+/// waits are deliberately absent: they release the mutex while blocked.
+const BLOCKING_IO: &[&str] = &[
+    "accept",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "flush",
+    "recv",
+    "incoming",
+    "connect",
+    "connect_timeout",
+];
+
+/// A live guard during the body walk.
+struct Guard {
+    /// Binding name (`None` for an unbound temporary).
+    name: Option<String>,
+    /// Which lock it guards.
+    lock: String,
+    /// Brace depth of the acquisition token.
+    born_depth: u32,
+}
+
+/// Per-function facts for the transitive pass.
+#[derive(Default, Clone)]
+struct Facts {
+    /// Body contains a blocking-I/O call.
+    io: bool,
+    /// Locks the body acquires.
+    locks: BTreeSet<String>,
+    /// Resolved plain calls out of the body.
+    calls: BTreeSet<FnId>,
+}
+
+/// Matches an acquisition at token `i`; returns the lock name.
+fn acquisition(toks: &[crate::lexer::Tok], i: usize) -> Option<String> {
+    let t = &toks[i];
+    if !t.is_ident("lock") || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    if i > 0 && toks[i - 1].is_punct('.') {
+        // `x.state.lock()` — receiver's last identifier.
+        return (i >= 2).then(|| toks[i - 2].text.clone()).filter(|_| toks[i - 2].is_ident_kind());
+    }
+    // `lock(&shared.queue)` — last identifier inside the argument parens.
+    let mut name = None;
+    let mut j = i + 2;
+    let mut depth = 1usize;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+        } else if toks[j].is_ident_kind() {
+            name = Some(toks[j].text.clone());
+        }
+        j += 1;
+    }
+    name
+}
+
+/// If the acquisition whose `lock` identifier sits at `i` is the entire
+/// right-hand side of a simple `let name = …;` binding, returns the bound
+/// name. A chained acquisition (`lock(&q).drain(..).collect()`) binds the
+/// *chain's* result, not the guard — the guard is a temporary that dies at
+/// the statement end, so it must not inherit the binding's lifetime.
+fn binding_name(toks: &[crate::lexer::Tok], i: usize) -> Option<String> {
+    // Walk to the `)` closing the acquisition call; the guard is bound
+    // only when the statement ends right there.
+    let mut j = i + 2;
+    let mut parens = 1usize;
+    while j < toks.len() && parens > 0 {
+        if toks[j].is_punct('(') {
+            parens += 1;
+        } else if toks[j].is_punct(')') {
+            parens -= 1;
+        }
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct(';')) {
+        return None;
+    }
+    let mut start = i;
+    while start > 0 {
+        let t = &toks[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    if !toks.get(start).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut k = start + 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = toks.get(k)?;
+    let next = toks.get(k + 1)?;
+    (name.is_ident_kind() && (next.is_punct('=') || next.is_punct(':'))).then(|| name.text.clone())
+}
+
+/// Computes per-function facts for the transitive pass.
+fn facts(model: &Model<'_>, crate_name: &str) -> BTreeMap<FnId, Facts> {
+    let mut out = BTreeMap::new();
+    for (fi, func) in model.crate_functions(crate_name) {
+        let gi = model.files[fi].functions.iter().position(|f| std::ptr::eq(f, func));
+        let Some(gi) = gi else { continue };
+        let id: FnId = (fi, gi);
+        if func.name == "lock" {
+            // The acquisition primitive itself is not a lock user.
+            out.insert(id, Facts::default());
+            continue;
+        }
+        let toks = &model.files[fi].tokens;
+        let mut f = Facts::default();
+        let mut i = func.body.start;
+        while i < func.body.end {
+            let t = &toks[i];
+            if !model.is_test_line(fi, t.line) {
+                if let Some(lock) = acquisition(toks, i) {
+                    f.locks.insert(lock);
+                } else if t.is_ident_kind()
+                    && BLOCKING_IO.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    f.io = true;
+                }
+            }
+            i += 1;
+        }
+        for call in model.plain_calls(fi, func) {
+            if call.callee == "lock" || call.callee == "drop" {
+                continue;
+            }
+            if let Some(target) = model.resolve(crate_name, &call.callee) {
+                if target != id {
+                    f.calls.insert(target);
+                }
+            }
+        }
+        out.insert(id, f);
+    }
+    // Fixpoint: propagate io and lock sets over the call graph.
+    loop {
+        let snapshot: BTreeMap<FnId, Facts> = out.clone();
+        let mut changed = false;
+        for f in out.values_mut() {
+            for callee in f.calls.clone() {
+                if let Some(cf) = snapshot.get(&callee) {
+                    if cf.io && !f.io {
+                        f.io = true;
+                        changed = true;
+                    }
+                    for l in &cf.locks {
+                        changed |= f.locks.insert(l.clone());
+                    }
+                }
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
+/// Finds a cycle in the lock-order graph, returned as the node sequence
+/// `a → … → a`.
+fn find_cycle(edges: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    fn visit(
+        node: &str,
+        edges: &BTreeMap<String, BTreeSet<String>>,
+        path: &mut Vec<String>,
+        done: &mut BTreeSet<String>,
+    ) -> Option<Vec<String>> {
+        if let Some(pos) = path.iter().position(|n| n == node) {
+            let mut cycle: Vec<String> = path[pos..].to_vec();
+            cycle.push(node.to_string());
+            return Some(cycle);
+        }
+        if done.contains(node) {
+            return None;
+        }
+        path.push(node.to_string());
+        if let Some(nexts) = edges.get(node) {
+            for next in nexts {
+                if let Some(c) = visit(next, edges, path, done) {
+                    return Some(c);
+                }
+            }
+        }
+        path.pop();
+        done.insert(node.to_string());
+        None
+    }
+    let mut done = BTreeSet::new();
+    for node in edges.keys() {
+        if let Some(c) = visit(node, edges, &mut Vec::new(), &mut done) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for crate_name in LOCK_CRATES {
+        let facts = facts(model, crate_name);
+        // Lock-order edges with one representative site each.
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut edge_sites: BTreeMap<(String, String), (PathBuf, usize)> = BTreeMap::new();
+
+        for (fi, func) in model.crate_functions(crate_name) {
+            if func.name == "lock" {
+                continue;
+            }
+            let toks = &model.files[fi].tokens;
+            let mut guards: Vec<Guard> = Vec::new();
+            let mut i = func.body.start;
+            while i < func.body.end {
+                let t = &toks[i];
+                if t.is_punct('}') {
+                    guards.retain(|g| g.born_depth <= t.depth);
+                } else if t.is_punct(';') {
+                    guards.retain(|g| g.name.is_some() || t.depth > g.born_depth);
+                } else if t.is_punct('{') {
+                    guards.retain(|g| g.name.is_some());
+                } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    if let Some(arg) = toks.get(i + 2) {
+                        guards.retain(|g| g.name.as_deref() != Some(arg.text.as_str()));
+                    }
+                } else if let Some(lock) = acquisition(toks, i) {
+                    if !model.is_test_line(fi, t.line) {
+                        for g in &guards {
+                            if g.lock != lock && !model.allowed(fi, t.line, "lock-discipline") {
+                                edges.entry(g.lock.clone()).or_default().insert(lock.clone());
+                                edge_sites
+                                    .entry((g.lock.clone(), lock.clone()))
+                                    .or_insert_with(|| (model.sources[fi].path.clone(), t.line));
+                            }
+                        }
+                        guards.push(Guard {
+                            name: binding_name(toks, i),
+                            lock,
+                            born_depth: t.depth,
+                        });
+                    }
+                } else if !guards.is_empty() && !model.is_test_line(fi, t.line) {
+                    let blocking = t.is_ident_kind()
+                        && BLOCKING_IO.contains(&t.text.as_str())
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                    let callee_io = !blocking
+                        && t.is_ident_kind()
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                        && !(i > 0 && toks[i - 1].is_punct('.'))
+                        && model
+                            .resolve(crate_name, &t.text)
+                            .and_then(|id| facts.get(&id))
+                            .is_some_and(|f| f.io);
+                    if (blocking || callee_io) && !model.allowed(fi, t.line, "lock-discipline") {
+                        let held: Vec<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+                        findings.push(Finding {
+                            rule: "lock-discipline",
+                            path: model.sources[fi].path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` blocks while holding lock(s) [{}] in {} — drop the \
+                                 guard (or clone out of it) before doing I/O",
+                                t.text,
+                                held.join(", "),
+                                crate_name
+                            ),
+                        });
+                    }
+                    // Transitive lock-order edges through resolved calls.
+                    if !blocking && t.is_ident_kind() {
+                        if let Some(callee_facts) = (!(i > 0 && toks[i - 1].is_punct('.'))
+                            && toks.get(i + 1).is_some_and(|n| n.is_punct('(')))
+                        .then(|| model.resolve(crate_name, &t.text))
+                        .flatten()
+                        .and_then(|id| facts.get(&id))
+                        {
+                            for inner in &callee_facts.locks {
+                                for g in &guards {
+                                    if g.lock != *inner
+                                        && !model.allowed(fi, t.line, "lock-discipline")
+                                    {
+                                        edges
+                                            .entry(g.lock.clone())
+                                            .or_default()
+                                            .insert(inner.clone());
+                                        edge_sites
+                                            .entry((g.lock.clone(), inner.clone()))
+                                            .or_insert_with(|| {
+                                                (model.sources[fi].path.clone(), t.line)
+                                            });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        if let Some(cycle) = find_cycle(&edges) {
+            let site = edge_sites
+                .get(&(cycle[0].clone(), cycle[1].clone()))
+                .cloned()
+                .unwrap_or_else(|| (PathBuf::from(crate_name), 0));
+            findings.push(Finding {
+                rule: "lock-discipline",
+                path: site.0,
+                line: site.1,
+                message: format!(
+                    "inconsistent lock order in {}: cycle {} — pick one global order \
+                     and take the locks in it everywhere",
+                    crate_name,
+                    cycle.join(" → ")
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), "hbc-serve", text, false)];
+        check(&Model::build(&files))
+    }
+
+    #[test]
+    fn guard_held_across_write_fires() {
+        let f = run("fn f(s: &S, out: &mut TcpStream) {\n    let g = s.state.lock();\n    \
+             out.write_all(b\"x\");\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("write_all"));
+        assert!(f[0].message.contains("state"));
+    }
+
+    #[test]
+    fn helper_fn_acquisition_fires_too() {
+        let f = run("fn f(s: &S, out: &mut TcpStream) {\n    let q = lock(&s.queue);\n    \
+             out.flush();\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("queue"));
+    }
+
+    #[test]
+    fn dropped_guard_is_dead() {
+        assert!(run(
+            "fn f(s: &S, out: &mut TcpStream) {\n    let g = s.state.lock();\n    drop(g);\n    \
+             out.write_all(b\"x\");\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_close() {
+        assert!(run(
+            "fn f(s: &S, out: &mut TcpStream) {\n    let v = {\n        let g = s.state.lock();\n        \
+             g.len()\n    };\n    out.write_all(b\"x\");\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn temporary_dies_at_statement_end() {
+        assert!(run("fn f(s: &S, out: &mut TcpStream) {\n    s.counts.lock().insert(1);\n    \
+             out.flush();\n}\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn io_through_a_called_function_fires() {
+        let f = run(
+            "fn respond(out: &mut TcpStream) {\n    out.write_all(b\"x\");\n}\n\
+             fn f(s: &S, out: &mut TcpStream) {\n    let g = s.state.lock();\n    respond(out);\n}\n",
+        );
+        assert_eq!(f.len(), 1, "transitive I/O through `respond`");
+        assert!(f[0].message.contains("respond"));
+    }
+
+    #[test]
+    fn ab_ba_cycle_fires() {
+        let f = run("fn ab(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n\
+             fn ba(s: &S) {\n    let b = s.beta.lock();\n    let a = s.alpha.lock();\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("cycle"));
+        assert!(f[0].message.contains("alpha") && f[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_nesting_passes() {
+        assert!(run(
+            "fn one(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n\
+             fn two(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking_io() {
+        assert!(run("fn f(s: &S) {\n    let mut g = s.state.lock();\n    \
+             g = s.cv.wait_timeout(g, dur).0;\n}\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        assert!(run("fn f(s: &S, out: &mut TcpStream) {\n    let g = s.state.lock();\n    \
+             // hbc-allow: lock-discipline (single-threaded startup path)\n    \
+             out.write_all(b\"x\");\n}\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_exempt() {
+        let files = [SourceFile::parse(
+            PathBuf::from("f.rs"),
+            "hbc-bench",
+            "fn f(s: &S, o: &mut W) { let g = s.state.lock(); o.write_all(b\"x\"); }\n",
+            false,
+        )];
+        assert!(check(&Model::build(&files)).is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/lock_discipline");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        let bad_findings = run(&bad);
+        assert!(
+            bad_findings.iter().any(|f| f.message.contains("cycle")),
+            "violation fixture must demonstrate an AB/BA lock-order cycle"
+        );
+        assert!(
+            bad_findings.iter().any(|f| f.message.contains("holding lock")),
+            "violation fixture must demonstrate a guard held across I/O"
+        );
+        assert!(run(&ok).is_empty());
+    }
+}

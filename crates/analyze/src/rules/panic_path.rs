@@ -9,8 +9,12 @@
 //! grandfathered in `crates/analyze/panic_baseline.txt`; the count per
 //! crate may only go down. Regenerate the baseline after a genuine
 //! reduction with `cargo run -p hbc-analyze -- baseline`.
+//!
+//! Ported to the semantic model: sites are identifier tokens immediately
+//! followed by `(` (for `unwrap`/`expect`) or `!` (for the panicking
+//! macros), so string contents and comments can never count.
 
-use crate::source::{tokens, SourceFile};
+use crate::model::Model;
 use crate::{Finding, PANIC_CRATES};
 use std::collections::BTreeMap;
 
@@ -60,39 +64,37 @@ impl Baseline {
 /// Counts panic sites per gated crate, skipping test code and
 /// `hbc-allow: panic` lines. Returns (crate → count) plus each site for
 /// reporting.
-pub fn count_sites(files: &[SourceFile]) -> (BTreeMap<String, usize>, Vec<Finding>) {
+pub fn count_sites(model: &Model<'_>) -> (BTreeMap<String, usize>, Vec<Finding>) {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut sites = Vec::new();
     for crate_name in PANIC_CRATES {
         counts.insert(crate_name.to_string(), 0);
     }
-    for file in files {
-        if !PANIC_CRATES.contains(&file.crate_name.as_str()) {
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        if !PANIC_CRATES.contains(&src.crate_name.as_str()) {
             continue;
         }
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "panic") {
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if model.is_test_line(fi, tok.line) || model.allowed(fi, tok.line, "panic") {
                 continue;
             }
-            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
-            for (pos, tok) in &toks {
-                let after = line.code[pos + tok.len()..].trim_start();
-                let hit = match *tok {
-                    "unwrap" | "expect" => after.starts_with('('),
-                    "panic" | "unreachable" | "todo" | "unimplemented" => after.starts_with('!'),
-                    "assert" => false, // assertions are contracts, not panic paths
-                    _ => false,
-                };
-                if hit {
-                    *counts.entry(file.crate_name.clone()).or_default() += 1;
-                    sites.push(Finding {
-                        rule: "panic",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!("panic site `{tok}` in {}", file.crate_name),
-                    });
+            let next = fm.tokens.get(ti + 1);
+            let hit = match tok.text.as_str() {
+                "unwrap" | "expect" => next.is_some_and(|t| t.is_punct('(')),
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    next.is_some_and(|t| t.is_punct('!'))
                 }
+                // assertions are contracts, not panic paths
+                _ => false,
+            };
+            if hit {
+                *counts.entry(src.crate_name.clone()).or_default() += 1;
+                sites.push(Finding {
+                    rule: "panic",
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!("panic site `{}` in {}", tok.text, src.crate_name),
+                });
             }
         }
     }
@@ -101,8 +103,8 @@ pub fn count_sites(files: &[SourceFile]) -> (BTreeMap<String, usize>, Vec<Findin
 
 /// Compares the current counts against the baseline; a crate over its
 /// baseline yields one finding naming every new-ish site.
-pub fn check(files: &[SourceFile], baseline: &Baseline) -> Vec<Finding> {
-    let (counts, sites) = count_sites(files);
+pub fn check(model: &Model<'_>, baseline: &Baseline) -> Vec<Finding> {
+    let (counts, sites) = count_sites(model);
     let mut findings = Vec::new();
     for (crate_name, &count) in &counts {
         let allowed = baseline.allowed(crate_name);
@@ -111,7 +113,10 @@ pub fn check(files: &[SourceFile], baseline: &Baseline) -> Vec<Finding> {
                 sites
                     .iter()
                     .filter(|s| {
-                        files.iter().any(|f| f.path == s.path && f.crate_name == *crate_name)
+                        model
+                            .sources
+                            .iter()
+                            .any(|f| f.path == s.path && f.crate_name == *crate_name)
                     })
                     .cloned(),
             );
@@ -139,26 +144,32 @@ mod tests {
         SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)
     }
 
+    fn counts_of(text: &str) -> BTreeMap<String, usize> {
+        let files = [file(text)];
+        count_sites(&Model::build(&files)).0
+    }
+
     #[test]
     fn counts_unwrap_expect_panic() {
-        let (counts, _) = count_sites(&[file(
+        let counts = counts_of(
             "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}\n",
-        )]);
+        );
         assert_eq!(counts["hbc-mem"], 4);
     }
 
     #[test]
     fn unwrap_or_variants_do_not_count() {
-        let (counts, _) =
-            count_sites(&[file("fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n")]);
+        let counts = counts_of(
+            "fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n",
+        );
         assert_eq!(counts["hbc-mem"], 0);
     }
 
     #[test]
-    fn asserts_and_tests_do_not_count() {
-        let (counts, _) = count_sites(&[file(
-            "fn f() {\n    assert!(ok);\n}\n#[cfg(test)]\nmod t {\n    fn g() { x.unwrap(); }\n}\n",
-        )]);
+    fn asserts_tests_and_strings_do_not_count() {
+        let counts = counts_of(
+            "fn f() {\n    assert!(ok);\n    let s = \"panic!\";\n}\n#[cfg(test)]\nmod t {\n    fn g() { x.unwrap(); }\n}\n",
+        );
         assert_eq!(counts["hbc-mem"], 0);
     }
 
@@ -170,17 +181,17 @@ mod tests {
         let b2 = Baseline::parse(&b.render());
         assert_eq!(b, b2);
 
-        let f = file("fn f() {\n    a.unwrap();\n    b.unwrap();\n    c.unwrap();\n}\n");
-        assert!(!check(std::slice::from_ref(&f), &b).is_empty());
+        let files = [file("fn f() {\n    a.unwrap();\n    b.unwrap();\n    c.unwrap();\n}\n")];
+        let model = Model::build(&files);
+        assert!(!check(&model, &b).is_empty());
         let under = Baseline::parse("hbc-mem 3\n");
-        assert!(check(std::slice::from_ref(&f), &under).is_empty());
+        assert!(check(&model, &under).is_empty());
     }
 
     #[test]
     fn allow_annotation_excludes_site() {
-        let (counts, _) = count_sites(&[file(
-            "fn f() {\n    x.unwrap(); // hbc-allow: panic (checked above)\n}\n",
-        )]);
+        let counts =
+            counts_of("fn f() {\n    x.unwrap(); // hbc-allow: panic (checked above)\n}\n");
         assert_eq!(counts["hbc-mem"], 0);
     }
 
@@ -190,7 +201,9 @@ mod tests {
         let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
         let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
         let zero = Baseline::default();
-        assert!(!check(&[file(&bad)], &zero).is_empty());
-        assert!(check(&[file(&ok)], &zero).is_empty());
+        let bad_files = [file(&bad)];
+        let ok_files = [file(&ok)];
+        assert!(!check(&Model::build(&bad_files), &zero).is_empty());
+        assert!(check(&Model::build(&ok_files), &zero).is_empty());
     }
 }

@@ -10,15 +10,19 @@
 //! workspace. Names built at runtime (e.g. `StallCause::probe_name`) are
 //! outside the scanner's reach and are covered by `hbc-probe`'s own
 //! validation assert instead.
+//!
+//! Ported to the semantic model: a registration is the token triple
+//! `counter`/`histogram` `(` `"…"` — string contents come straight from
+//! the lexer's `Str` tokens, so commented-out registrations never fire.
 
-use crate::source::SourceFile;
+use crate::model::Model;
 use crate::Finding;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Mirrors `hbc_probe::is_valid_probe_name` (kept dependency-free here):
 /// two or more non-empty `[a-z0-9_]+` segments separated by dots.
-fn valid(name: &str) -> bool {
+pub(crate) fn valid(name: &str) -> bool {
     let mut segments = 0;
     for segment in name.split('.') {
         if segment.is_empty()
@@ -31,61 +35,47 @@ fn valid(name: &str) -> bool {
     segments >= 2
 }
 
-/// Extracts the string literals opened by `marker` (e.g. `counter("`) in a
-/// raw source line.
-fn literals<'a>(mut rest: &'a str, marker: &str) -> Vec<&'a str> {
-    let mut out = Vec::new();
-    while let Some(pos) = rest.find(marker) {
-        rest = &rest[pos + marker.len()..];
-        let Some(end) = rest.find('"') else { break };
-        out.push(&rest[..end]);
-        rest = &rest[end + 1..];
-    }
-    out
-}
-
-/// Runs the rule over all files.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut seen: BTreeMap<String, (PathBuf, usize)> = BTreeMap::new();
-    for file in files {
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "probe-naming") {
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if !(tok.is_ident("counter") || tok.is_ident("histogram"))
+                || model.is_test_line(fi, tok.line)
+                || model.allowed(fi, tok.line, "probe-naming")
+            {
                 continue;
             }
-            for marker in ["counter(\"", "histogram(\""] {
-                // The stripped code keeps the delimiters (`counter("")`),
-                // so matching it first means comments never fire; the name
-                // itself comes from the raw line.
-                if !line.code.contains(marker) {
-                    continue;
-                }
-                for name in literals(&line.raw, marker) {
-                    if !valid(name) {
-                        findings.push(Finding {
-                            rule: "probe-naming",
-                            path: file.path.clone(),
-                            line: lineno,
-                            message: format!(
-                                "probe name {name:?} is not hierarchical dotted lowercase \
-                                 (`segment.segment…`, segments `[a-z0-9_]+`)"
-                            ),
-                        });
-                    } else if let Some((first_path, first_line)) =
-                        seen.insert(name.to_string(), (file.path.clone(), lineno))
-                    {
-                        findings.push(Finding {
-                            rule: "probe-naming",
-                            path: file.path.clone(),
-                            line: lineno,
-                            message: format!(
-                                "probe name {name:?} already registered at {}:{first_line}",
-                                first_path.display()
-                            ),
-                        });
-                    }
-                }
+            let (Some(open), Some(lit)) = (fm.tokens.get(ti + 1), fm.tokens.get(ti + 2)) else {
+                continue;
+            };
+            if !open.is_punct('(') || lit.kind != crate::lexer::TokKind::Str {
+                continue;
+            }
+            let name = lit.text.as_str();
+            if !valid(name) {
+                findings.push(Finding {
+                    rule: "probe-naming",
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "probe name {name:?} is not hierarchical dotted lowercase \
+                         (`segment.segment…`, segments `[a-z0-9_]+`)"
+                    ),
+                });
+            } else if let Some((first_path, first_line)) =
+                seen.insert(name.to_string(), (src.path.clone(), tok.line))
+            {
+                findings.push(Finding {
+                    rule: "probe-naming",
+                    path: src.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "probe name {name:?} already registered at {}:{first_line}",
+                        first_path.display()
+                    ),
+                });
             }
         }
     }
@@ -99,7 +89,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(text: &str) -> Vec<Finding> {
-        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)])
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]
@@ -141,6 +132,12 @@ mod tests {
         assert!(run("// reg.counter(\"BAD\")\n").is_empty());
         assert!(run("#[cfg(test)]\nmod t {\n fn f() { reg.counter(\"BAD\"); }\n}\n").is_empty());
         assert!(run("reg.counter(\"x\"); // hbc-allow: probe-naming (migration shim)\n").is_empty());
+    }
+
+    #[test]
+    fn multi_line_call_still_fires() {
+        let f = run("reg.counter(\n    \"BAD\",\n);\n");
+        assert_eq!(f.len(), 1, "name literal on the next line is still a registration");
     }
 
     #[test]

@@ -10,18 +10,22 @@
 //! it mechanically.
 //!
 //! Unlike the `panic` rule (a shrinking per-crate budget over all panic
-//! sites), this one has no grandfathered baseline: a hit on an I/O line is
-//! always a finding. The scan is per line: an `unwrap`/`expect` call fires
-//! when an I/O identifier (socket types, socket/file verbs, `fs`/`File`
-//! operations) appears in the same statement line. Audited exceptions use
-//! `// hbc-allow: serve-io-panic`.
+//! sites), this one has no grandfathered baseline: a hit on an I/O
+//! statement is always a finding. Ported to the semantic model, the scan
+//! is per *statement* (token runs delimited by `;`, `{`, `}`): an
+//! `unwrap`/`expect` call fires when an I/O identifier (socket types,
+//! socket/file verbs, `fs`/`File` operations) appears in the same
+//! statement, even when the chain wraps across lines. Audited exceptions
+//! use `// hbc-allow: serve-io-panic`.
 
-use crate::source::{tokens, SourceFile};
+use crate::lexer::TokKind;
+use crate::model::Model;
 use crate::Finding;
 
-/// Identifier tokens that mark a line as touching socket or filesystem
-/// I/O. Types and verbs both count: `TcpStream::connect(..).unwrap()` and
-/// `stream.read(..).unwrap()` are equally fatal in a server.
+/// Identifier tokens that mark a statement as touching socket or
+/// filesystem I/O. Types and verbs both count:
+/// `TcpStream::connect(..).unwrap()` and `stream.read(..).unwrap()` are
+/// equally fatal in a server.
 const IO_TOKENS: &[&str] = &[
     // Socket types and operations.
     "TcpListener",
@@ -58,36 +62,46 @@ const IO_TOKENS: &[&str] = &[
     "canonicalize",
 ];
 
-/// Scans `hbc-serve` non-test lines for `unwrap`/`expect` calls sharing a
-/// line with an I/O identifier.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Scans `hbc-serve` non-test statements for `unwrap`/`expect` calls
+/// sharing a statement with an I/O identifier.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files {
-        if file.crate_name != "hbc-serve" {
+    for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
+        if src.crate_name != "hbc-serve" {
             continue;
         }
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "serve-io-panic") {
+        let toks = &fm.tokens;
+        let mut start = 0;
+        for (ti, tok) in toks.iter().enumerate() {
+            let is_boundary = tok.kind == TokKind::Punct
+                && (tok.text == ";" || tok.text == "{" || tok.text == "}");
+            if !is_boundary && ti + 1 != toks.len() {
                 continue;
             }
-            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
-            let touches_io = toks.iter().any(|(_, t)| IO_TOKENS.contains(t));
-            if !touches_io {
+            let stmt = &toks[start..=ti];
+            start = ti + 1;
+            if !stmt
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && IO_TOKENS.contains(&t.text.as_str()))
+            {
                 continue;
             }
-            for (pos, tok) in &toks {
-                let bare_panic = matches!(*tok, "unwrap" | "expect")
-                    && line.code[pos + tok.len()..].trim_start().starts_with('(');
-                if bare_panic {
+            for (si, t) in stmt.iter().enumerate() {
+                let bare_panic = (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && stmt.get(si + 1).is_some_and(|n| n.is_punct('('));
+                if bare_panic
+                    && !model.is_test_line(fi, t.line)
+                    && !model.allowed(fi, t.line, "serve-io-panic")
+                {
                     findings.push(Finding {
                         rule: "serve-io-panic",
-                        path: file.path.clone(),
-                        line: lineno,
+                        path: src.path.clone(),
+                        line: t.line,
                         message: format!(
-                            "`{tok}` on a socket/filesystem operation in hbc-serve — return a \
+                            "`{}` on a socket/filesystem operation in hbc-serve — return a \
                              typed error (`HttpError`, `io::Result`) so the server degrades \
-                             instead of dying"
+                             instead of dying",
+                            t.text
                         ),
                     });
                 }
@@ -100,69 +114,70 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::SourceFile;
     use std::path::PathBuf;
 
-    fn serve_file(text: &str) -> SourceFile {
-        SourceFile::parse(PathBuf::from("f.rs"), "hbc-serve", text, false)
+    fn run(text: &str) -> Vec<Finding> {
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), "hbc-serve", text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]
     fn unwrap_on_socket_ops_fires() {
-        let f = serve_file(
-            "fn f() {\n    let l = TcpListener::bind(addr).unwrap();\n    \
-             stream.read_exact(&mut buf).expect(\"io\");\n}\n",
-        );
-        let findings = check(std::slice::from_ref(&f));
+        let findings = run("fn f() {\n    let l = TcpListener::bind(addr).unwrap();\n    \
+             stream.read_exact(&mut buf).expect(\"io\");\n}\n");
         assert_eq!(findings.len(), 2);
         assert!(findings[0].message.contains("typed error"));
     }
 
     #[test]
     fn unwrap_on_fs_ops_fires() {
-        let f = serve_file("fn f() {\n    std::fs::rename(&tmp, &path).unwrap();\n}\n");
-        assert_eq!(check(std::slice::from_ref(&f)).len(), 1);
+        assert_eq!(run("fn f() {\n    std::fs::rename(&tmp, &path).unwrap();\n}\n").len(), 1);
+    }
+
+    #[test]
+    fn multi_line_chain_fires() {
+        let findings =
+            run("fn f() {\n    let l = TcpListener::bind(addr)\n        .unwrap();\n}\n");
+        assert_eq!(findings.len(), 1, "statement scan sees across the line break");
+        assert_eq!(findings[0].line, 3);
     }
 
     #[test]
     fn non_io_unwrap_is_left_to_the_panic_rule() {
-        let f = serve_file("fn f() {\n    let n = text.parse::<u64>().unwrap();\n}\n");
-        assert!(check(std::slice::from_ref(&f)).is_empty());
+        assert!(run("fn f() {\n    let n = text.parse::<u64>().unwrap();\n}\n").is_empty());
     }
 
     #[test]
     fn typed_error_handling_passes() {
-        let f = serve_file(
-            "fn f() -> io::Result<()> {\n    let l = TcpListener::bind(addr)?;\n    \
-             stream.write_all(b\"x\").map_err(HttpError::Io)?;\n    Ok(())\n}\n",
-        );
-        assert!(check(std::slice::from_ref(&f)).is_empty());
+        assert!(run("fn f() -> io::Result<()> {\n    let l = TcpListener::bind(addr)?;\n    \
+             stream.write_all(b\"x\").map_err(HttpError::Io)?;\n    Ok(())\n}\n",)
+        .is_empty());
     }
 
     #[test]
     fn tests_and_other_crates_are_exempt() {
-        let in_tests = SourceFile::parse(
+        let in_tests = [SourceFile::parse(
             PathBuf::from("tests/t.rs"),
             "hbc-serve",
             "fn t() { TcpStream::connect(a).unwrap(); }\n",
             true,
-        );
-        assert!(check(std::slice::from_ref(&in_tests)).is_empty());
-        let other_crate = SourceFile::parse(
+        )];
+        assert!(check(&Model::build(&in_tests)).is_empty());
+        let other_crate = [SourceFile::parse(
             PathBuf::from("f.rs"),
             "hbc-bench",
             "fn f() { std::fs::write(p, b).unwrap(); }\n",
             false,
-        );
-        assert!(check(std::slice::from_ref(&other_crate)).is_empty());
+        )];
+        assert!(check(&Model::build(&other_crate)).is_empty());
     }
 
     #[test]
     fn allow_annotation_is_honored() {
-        let f = serve_file(
-            "fn f() {\n    // hbc-allow: serve-io-panic (test-only helper)\n    \
-             listener.accept().unwrap();\n}\n",
-        );
-        assert!(check(std::slice::from_ref(&f)).is_empty());
+        assert!(run("fn f() {\n    // hbc-allow: serve-io-panic (test-only helper)\n    \
+             listener.accept().unwrap();\n}\n",)
+        .is_empty());
     }
 
     #[test]
@@ -170,7 +185,7 @@ mod tests {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/serve_io_panic");
         let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
         let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
-        assert!(!check(&[serve_file(&bad)]).is_empty());
-        assert!(check(&[serve_file(&ok)]).is_empty());
+        assert!(!run(&bad).is_empty());
+        assert!(run(&ok).is_empty());
     }
 }

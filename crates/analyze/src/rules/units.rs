@@ -7,8 +7,12 @@
 //! boundary is where those get confused. Constructors (`new`, `from_*`)
 //! and raw accessors (`get`) are exempt — they *are* the conversion
 //! boundary. Anything else raw needs an audited `// hbc-allow: units`.
+//!
+//! Ported to the semantic model: the rule walks [`crate::model::Function`]
+//! items and inspects their signature token ranges, so multi-line
+//! signatures and `where` clauses need no line heuristics.
 
-use crate::source::{tokens, SourceFile};
+use crate::model::Model;
 use crate::Finding;
 
 /// Crate whose public API is held to unit discipline.
@@ -21,54 +25,29 @@ fn exempt(name: &str) -> bool {
     name == "new" || name == "get" || name.starts_with("from_")
 }
 
-/// Runs the rule over all files.
-pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files {
-        if file.crate_name != UNITS_CRATE {
+    for (fi, func) in model.crate_functions(UNITS_CRATE) {
+        if !func.is_pub
+            || exempt(&func.name)
+            || model.is_test_line(fi, func.line)
+            || model.allowed(fi, func.line, "units")
+        {
             continue;
         }
-        for (idx, line) in file.lines.iter().enumerate() {
-            let lineno = idx + 1;
-            if line.is_test || file.allowed(lineno, "units") {
-                continue;
-            }
-            let toks: Vec<(usize, &str)> = tokens(&line.code).collect();
-            let Some(fn_pos) =
-                toks.windows(2).position(|w| w[0].1 == "pub" && w[1].1 == "fn").map(|p| p + 1)
-            else {
-                continue;
-            };
-            let Some(&(_, name)) = toks.get(fn_pos + 1) else { continue };
-            if exempt(name) {
-                continue;
-            }
-            // Collect the signature from `fn` to the body brace or `;`,
-            // spanning lines for multi-line signatures.
-            let mut sig = String::new();
-            for cont in &file.lines[idx..] {
-                let code = &cont.code;
-                let end = code.find(['{', ';']).unwrap_or(code.len());
-                sig.push_str(&code[..end]);
-                sig.push(' ');
-                if code.find(['{', ';']).is_some() {
-                    break;
-                }
-            }
-            for (_, tok) in tokens(&sig) {
-                if RAW.contains(&tok) {
-                    findings.push(Finding {
-                        rule: "units",
-                        path: file.path.clone(),
-                        line: lineno,
-                        message: format!(
-                            "pub fn `{name}` exposes raw `{tok}`; use the unit newtypes \
-                             (Fo4, Nanoseconds, CacheSize) or justify with hbc-allow"
-                        ),
-                    });
-                    break;
-                }
-            }
+        let toks = &model.files[fi].tokens;
+        if let Some(raw) = toks[func.sig.clone()].iter().find(|t| RAW.contains(&t.text.as_str())) {
+            findings.push(Finding {
+                rule: "units",
+                path: model.sources[fi].path.clone(),
+                line: func.line,
+                message: format!(
+                    "pub fn `{}` exposes raw `{}`; use the unit newtypes \
+                     (Fo4, Nanoseconds, CacheSize) or justify with hbc-allow",
+                    func.name, raw.text
+                ),
+            });
         }
     }
     findings
@@ -81,7 +60,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn run(text: &str) -> Vec<Finding> {
-        check(&[SourceFile::parse(PathBuf::from("f.rs"), "hbc-timing", text, false)])
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), "hbc-timing", text, false)];
+        check(&Model::build(&files))
     }
 
     #[test]
@@ -98,6 +78,19 @@ mod tests {
     }
 
     #[test]
+    fn private_fns_are_not_gated() {
+        assert!(run("fn helper(x: f64) -> f64 { x }\n").is_empty());
+    }
+
+    #[test]
+    fn body_raws_do_not_fire() {
+        assert!(run(
+            "pub fn scale(&self) -> Fo4 {\n    let raw: f64 = 2.0;\n    Fo4::new(raw)\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn constructors_and_accessors_exempt() {
         assert!(run("pub fn new(v: f64) -> Self { Self(v) }\n").is_empty());
         assert!(run("pub fn get(&self) -> f64 { self.0 }\n").is_empty());
@@ -107,13 +100,9 @@ mod tests {
     #[test]
     fn newtype_signatures_pass_and_other_crates_ignored() {
         assert!(run("pub fn to_ns(&self, t: &Technology) -> Nanoseconds {\n}\n").is_empty());
-        let other = check(&[SourceFile::parse(
-            PathBuf::from("f.rs"),
-            "hbc-mem",
-            "pub fn x() -> u64 {}",
-            false,
-        )]);
-        assert!(other.is_empty());
+        let files =
+            [SourceFile::parse(PathBuf::from("f.rs"), "hbc-mem", "pub fn x() -> u64 {}", false)];
+        assert!(check(&Model::build(&files)).is_empty());
     }
 
     #[test]

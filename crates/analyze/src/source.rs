@@ -22,6 +22,21 @@ pub struct Line {
     pub is_test: bool,
 }
 
+/// One `hbc-allow` / `hbc-allow-file` annotation site, kept for audit
+/// listings (`hbc-analyze allows`).
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line the annotation comment sits on.
+    pub line: usize,
+    /// The rules it allows.
+    pub rules: Vec<String>,
+    /// True for `hbc-allow-file` (whole-file scope).
+    pub file_level: bool,
+    /// Free text following the rule list — the written justification.
+    /// Empty when the author gave none.
+    pub justification: String,
+}
+
 /// A scanned Rust source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -34,6 +49,8 @@ pub struct SourceFile {
     pub file_allows: Vec<String>,
     /// The stripped lines, in order.
     pub lines: Vec<Line>,
+    /// Every annotation site in the file, in order.
+    pub annotations: Vec<Annotation>,
 }
 
 impl SourceFile {
@@ -43,14 +60,28 @@ impl SourceFile {
         let stripped = strip(text);
         let raws: Vec<&str> = text.lines().collect();
         let mut file_allows = Vec::new();
+        let mut annotations = Vec::new();
         let mut lines: Vec<Line> = Vec::with_capacity(stripped.len());
         // Allow annotations: an annotation sharing a line with code guards
         // that line; an annotation alone on a line guards the next line.
         let mut pending: Vec<String> = Vec::new();
         for (idx, (code, comment)) in stripped.into_iter().enumerate() {
             let mut allows = std::mem::take(&mut pending);
-            allows.extend(parse_allow(&comment, "hbc-allow:"));
-            file_allows.extend(parse_allow(&comment, "hbc-allow-file:"));
+            for (marker, file_level) in [("hbc-allow:", false), ("hbc-allow-file:", true)] {
+                if let Some((rules, justification)) = parse_allow_full(&comment, marker) {
+                    if file_level {
+                        file_allows.extend(rules.iter().cloned());
+                    } else {
+                        allows.extend(rules.iter().cloned());
+                    }
+                    annotations.push(Annotation {
+                        line: idx + 1,
+                        rules,
+                        file_level,
+                        justification,
+                    });
+                }
+            }
             if code.trim().is_empty() && !allows.is_empty() {
                 pending = allows;
                 allows = Vec::new();
@@ -61,7 +92,7 @@ impl SourceFile {
         if !all_test {
             mark_test_blocks(&mut lines);
         }
-        SourceFile { path, crate_name: crate_name.to_string(), file_allows, lines }
+        SourceFile { path, crate_name: crate_name.to_string(), file_allows, lines, annotations }
     }
 
     /// True if `rule` is allowed on 1-based line `line` (per-line or
@@ -72,21 +103,35 @@ impl SourceFile {
     }
 }
 
-/// Extracts the rule list following `marker` in a comment, e.g.
-/// `hbc-allow: determinism, units (justification…)` → `[determinism, units]`.
-fn parse_allow(comment: &str, marker: &str) -> Vec<String> {
-    let Some(pos) = comment.find(marker) else { return Vec::new() };
-    comment[pos + marker.len()..]
-        .split(',')
-        .map(|piece| {
-            piece
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
-                .collect::<String>()
-        })
-        .take_while(|rule| !rule.is_empty())
-        .collect()
+/// Extracts the rule list following `marker` in a comment, plus the free
+/// text after it — the written justification, e.g.
+/// `hbc-allow: determinism, units (why…)` → `([determinism, units],
+/// "(why…)")`. `None` when the marker is absent or names no rules.
+///
+/// The marker must open the comment (doc-comment `/`/`!` and whitespace
+/// aside) — prose that merely *mentions* `hbc-allow:` mid-sentence is not
+/// an annotation.
+fn parse_allow_full(comment: &str, marker: &str) -> Option<(Vec<String>, String)> {
+    let head = comment.trim_start_matches(['/', '!']).trim_start();
+    let mut rest = head.strip_prefix(marker)?.trim_start();
+    let mut rules = Vec::new();
+    loop {
+        let rule: String =
+            rest.chars().take_while(|c| c.is_ascii_lowercase() || *c == '-').collect();
+        if rule.is_empty() {
+            break;
+        }
+        rest = rest[rule.len()..].trim_start();
+        rules.push(rule);
+        match rest.strip_prefix(',') {
+            Some(after) => rest = after.trim_start(),
+            None => break,
+        }
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    Some((rules, rest.trim().to_string()))
 }
 
 /// Splits `text` into per-line `(code, comment)` pairs. The code part has
@@ -159,7 +204,13 @@ fn strip(text: &str) -> Vec<(String, String)> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped character
+                    // Skip the escaped character — but a line-continuation
+                    // escape (`\` before the newline) still ends a source
+                    // line, or every line after it would be off by one.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+                    }
+                    i += 2;
                 } else if c == '"' {
                     code.push('"');
                     state = State::Code;
@@ -350,5 +401,65 @@ mod tests {
     fn token_iteration() {
         let toks: Vec<&str> = tokens("use std::collections::HashMap;").map(|(_, t)| t).collect();
         assert_eq!(toks, vec!["use", "std", "collections", "HashMap"]);
+    }
+
+    #[test]
+    fn raw_string_containing_slashes_is_not_a_comment() {
+        // `//` inside a raw string must not start a line comment: the code
+        // after the literal is still live.
+        let f = parse("let url = r\"https://example.com\"; use std::fmt;\n");
+        assert!(f.lines[0].code.contains("use std::fmt"));
+        assert!(!f.lines[0].code.contains("example.com"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = parse("/* outer /* inner */ still comment */ live();\nnext();\n");
+        assert!(!f.lines[0].code.contains("still comment"));
+        assert!(f.lines[0].code.contains("live()"));
+        assert!(f.lines[1].code.contains("next()"));
+    }
+
+    #[test]
+    fn allow_survives_blank_line_to_target() {
+        let f = parse("// hbc-allow: determinism (audited)\n\nuse foo;\n");
+        assert!(f.allowed(3, "determinism"), "annotation crosses the blank line");
+        assert!(!f.allowed(2, "determinism"));
+    }
+
+    #[test]
+    fn cfg_test_boundary_with_braces_on_one_line() {
+        // The brace counter must see the item end even when open and close
+        // share a line, and must not bleed into the next item.
+        let text = "#[cfg(test)]\nmod t { fn f() { x.unwrap(); } }\nfn live() {}\n";
+        let f = parse(text);
+        assert!(f.lines[1].is_test);
+        assert!(!f.lines[2].is_test, "test marking stops at the closing brace");
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbering() {
+        // A `\`-continued string spans two source lines; the model must
+        // still emit both, or every annotation below it shifts by one.
+        let f = parse("let s = \"a \\\n   b\";\n// hbc-allow: panic (audited)\nx.unwrap();\n");
+        assert_eq!(f.lines.len(), 4);
+        assert!(f.allowed(4, "panic"));
+    }
+
+    #[test]
+    fn annotations_record_rules_scope_and_justification() {
+        let text = "// hbc-allow-file: units (legacy raw API)\n\
+                    fn a() {}\n\
+                    x(); // hbc-allow: determinism, panic (seeded fallback)\n\
+                    y(); // hbc-allow: probe-naming\n";
+        let f = parse(text);
+        assert_eq!(f.annotations.len(), 3);
+        assert!(f.annotations[0].file_level);
+        assert_eq!(f.annotations[0].rules, ["units"]);
+        assert_eq!(f.annotations[0].justification, "(legacy raw API)");
+        assert_eq!(f.annotations[1].line, 3);
+        assert_eq!(f.annotations[1].rules, ["determinism", "panic"]);
+        assert_eq!(f.annotations[1].justification, "(seeded fallback)");
+        assert!(f.annotations[2].justification.is_empty());
     }
 }

@@ -4,6 +4,7 @@
 //! so a rule violation fails CI even if the standalone check step is
 //! skipped.
 
+use hbc_analyze::model::Model;
 use hbc_analyze::rules::panic_path::{self, Baseline};
 use hbc_analyze::{run_all, workspace};
 use std::path::Path;
@@ -33,7 +34,7 @@ fn panic_baseline_is_tight() {
     // should also tighten the baseline so the gate holds the new level.
     let root = root();
     let files = workspace::scan(&root).expect("scan workspace");
-    let (counts, _) = panic_path::count_sites(&files);
+    let (counts, _) = panic_path::count_sites(&Model::build(&files));
     let baseline_text = std::fs::read_to_string(root.join("crates/analyze/panic_baseline.txt"))
         .expect("panic baseline is checked in");
     let baseline = Baseline::parse(&baseline_text);
@@ -51,7 +52,7 @@ fn panic_budget_is_modest() {
     // Acceptance bound from the determinism/invariant issue: the
     // simulator's memory and CPU crates stay well under 45 panic sites.
     let files = workspace::scan(&root()).expect("scan workspace");
-    let (counts, _) = panic_path::count_sites(&files);
+    let (counts, _) = panic_path::count_sites(&Model::build(&files));
     let mem_cpu = counts["hbc-mem"] + counts["hbc-cpu"];
     assert!(mem_cpu < 45, "hbc-mem + hbc-cpu have {mem_cpu} panic sites");
 }
