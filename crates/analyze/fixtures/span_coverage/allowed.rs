@@ -1,0 +1,16 @@
+// probe-coverage span fixture (allowed): every literal stage name at a
+// span recording site appears in the STAGE_NAMES table.
+
+pub const STAGE_NAMES: &[&str] = &["serve.parse", "exec.run", "sim.measured"];
+
+fn instrument(spans: &ServeSpans) {
+    let _guard = enter("exec.run");
+    record_since("sim.measured", 0);
+    spans.record_at("serve.parse", 1, 0, 10, 250);
+}
+
+fn unrelated(map: &StateMap) {
+    // Non-dotted literals are not stage names: other `enter` APIs are
+    // outside the span lint.
+    map.enter("once");
+}

@@ -1,0 +1,10 @@
+// probe-coverage span fixture (violation): a recording site names a
+// stage the STAGE_NAMES table does not register — debug builds panic at
+// the site, and release traces would carry an unregistered stage.
+
+pub const STAGE_NAMES: &[&str] = &["serve.parse"];
+
+fn instrument(spans: &ServeSpans) {
+    // Typo: the table registers `serve.parse`.
+    spans.record_at("serve.parze", 1, 0, 10, 250);
+}

@@ -136,7 +136,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "probe-coverage",
-        summary: "every registered probe name is written, and every read name is registered",
+        summary: "probe registrations/reads cross-check; span stages must be in STAGE_NAMES",
         explain: "A counter registered but never incremented reads zero in /metrics forever; \
                   a read of a name nothing registers silently yields nothing. The rule \
                   cross-references every literal probe name in the workspace: registration \
@@ -144,8 +144,12 @@ pub const RULES: &[RuleInfo] = &[
                   (.inc/.add/.set/.record) or bind it for later writes, exact reads \
                   (get(\"…\")/get_histogram(\"…\")) and prefix reads (scoped(\"…\")) must \
                   match a registered name, and a name must not be registered as a counter \
-                  but read as a histogram (or vice versa). Runtime-built names are outside \
-                  the scan; audit those reads with hbc-allow.",
+                  but read as a histogram (or vice versa). Span stages get the same \
+                  closed-world check: a literal stage at an enter(\"…\")/record_at(\"…\")/\
+                  record_since(\"…\") site must appear in the STAGE_NAMES table, which is \
+                  read straight from its initializer — an unregistered stage panics debug \
+                  builds at the recording site. Runtime-built names are outside the scan; \
+                  audit those reads with hbc-allow.",
     },
     RuleInfo {
         name: "cast-truncation",

@@ -150,7 +150,8 @@ fn main() {
         });
     }
 
-    let mut json = format!("{{\"probe_feature\":{},\"metrics\":[", cfg!(feature = "probe"));
+    let mut json =
+        format!("{{\"schema\":1,\"probe_feature\":{},\"metrics\":[", cfg!(feature = "probe"));
     for (i, m) in metrics.iter().enumerate() {
         if i > 0 {
             json.push(',');

@@ -2,8 +2,10 @@
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig1::run());
-    // Figure 1 is analytic (SRAM access times), so the probe report runs
-    // the paper's baseline simulated configuration instead.
-    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig1::run());
+        // Figure 1 is analytic (SRAM access times), so the probe report runs
+        // the paper's baseline simulated configuration instead.
+        hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    });
 }

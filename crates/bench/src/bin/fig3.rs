@@ -2,8 +2,10 @@
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig3::run(&params));
-    // The figure itself is functional (no cycle simulation); the probe
-    // report runs the paper's baseline configuration.
-    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig3::run(&params));
+        // The figure itself is functional (no cycle simulation); the probe
+        // report runs the paper's baseline configuration.
+        hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    });
 }

@@ -4,9 +4,13 @@ use hbc_mem::PortModel;
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig4::run(&params));
-    hbc_bench::emit_probes(
-        &params,
-        &[("ideal 2-port, 2~", &|s| s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Ideal(2)))],
-    );
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig4::run(&params));
+        hbc_bench::emit_probes(
+            &params,
+            &[("ideal 2-port, 2~", &|s| {
+                s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Ideal(2))
+            })],
+        );
+    });
 }

@@ -4,16 +4,18 @@ use hbc_mem::PortModel;
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig6::run(&params));
-    hbc_bench::emit_probes(
-        &params,
-        &[
-            ("8-way banked + LB, 2~", &|s| {
-                s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Banked(8)).line_buffer(true)
-            }),
-            ("duplicate + LB, 2~", &|s| {
-                s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Duplicate).line_buffer(true)
-            }),
-        ],
-    );
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig6::run(&params));
+        hbc_bench::emit_probes(
+            &params,
+            &[
+                ("8-way banked + LB, 2~", &|s| {
+                    s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Banked(8)).line_buffer(true)
+                }),
+                ("duplicate + LB, 2~", &|s| {
+                    s.cache_size_kib(32).hit_cycles(2).ports(PortModel::Duplicate).line_buffer(true)
+                }),
+            ],
+        );
+    });
 }

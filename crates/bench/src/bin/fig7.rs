@@ -2,9 +2,11 @@
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig7::run(&params));
-    hbc_bench::emit_probes(
-        &params,
-        &[("DRAM cache 6~ + LB", &|s| s.dram_cache(6).line_buffer(true))],
-    );
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig7::run(&params));
+        hbc_bench::emit_probes(
+            &params,
+            &[("DRAM cache 6~ + LB", &|s| s.dram_cache(6).line_buffer(true))],
+        );
+    });
 }

@@ -4,11 +4,13 @@ use hbc_mem::PortModel;
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::fig9::run(&params));
-    hbc_bench::emit_probes(
-        &params,
-        &[("32K duplicate + LB, 1~", &|s| {
-            s.cache_size_kib(32).hit_cycles(1).ports(PortModel::Duplicate).line_buffer(true)
-        })],
-    );
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::fig9::run(&params));
+        hbc_bench::emit_probes(
+            &params,
+            &[("32K duplicate + LB, 1~", &|s| {
+                s.cache_size_kib(32).hit_cycles(1).ports(PortModel::Duplicate).line_buffer(true)
+            })],
+        );
+    });
 }

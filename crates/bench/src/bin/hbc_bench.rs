@@ -1,0 +1,85 @@
+//! `hbc-bench` — benchmark tooling CLI.
+//!
+//! ```text
+//! hbc-bench compare [--default-threshold R] [--threshold PREFIX=R]... \
+//!     <baseline.json> <current.json>
+//! ```
+//!
+//! `compare` is the perf-regression gate over the committed
+//! `results/BENCH_*.json` reports: it validates the `"schema"` stamp on
+//! both files, extracts the metric tables, and exits `1` when any metric
+//! regresses past its threshold (`0` when all pass, `2` on usage or load
+//! errors). See `hbc_bench::compare` for the metric and threshold model.
+
+use hbc_bench::compare::{compare_files, Thresholds};
+use std::path::PathBuf;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: hbc-bench compare [--default-threshold R] [--threshold PREFIX=R]... \
+         <baseline.json> <current.json>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!(
+                "hbc-bench compare [--default-threshold R] [--threshold PREFIX=R]... \
+                 <baseline.json> <current.json>\n\n\
+                 Compares two BENCH_*.json reports (throughput or serve) and exits 1 when a\n\
+                 metric regresses past its threshold ratio. R is the allowed degradation\n\
+                 ratio, e.g. 0.95 allows a 5% drop (or rise, for latency metrics)."
+            );
+        }
+        Some(other) => usage(&format!("unknown subcommand `{other}`")),
+        None => usage("a subcommand is required"),
+    }
+}
+
+fn run_compare(args: &[String]) -> ! {
+    let mut thresholds = Thresholds::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--default-threshold" => {
+                let v = args.next().unwrap_or_else(|| usage("--default-threshold needs a value"));
+                thresholds.default_ratio = parse_ratio(v);
+            }
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| usage("--threshold needs PREFIX=R"));
+                let Some((prefix, ratio)) = v.split_once('=') else {
+                    usage(&format!("--threshold wants PREFIX=R, got `{v}`"));
+                };
+                thresholds.overrides.push((prefix.to_string(), parse_ratio(ratio)));
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag `{flag}`")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        usage("compare wants exactly two files: <baseline.json> <current.json>");
+    };
+    match compare_files(baseline, current, &thresholds) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.regressions() == 0 { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_ratio(text: &str) -> f64 {
+    match text.parse::<f64>() {
+        Ok(r) if r > 0.0 && r.is_finite() => r,
+        _ => usage(&format!("threshold ratio must be a positive number, got `{text}`")),
+    }
+}

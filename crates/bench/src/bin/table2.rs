@@ -2,6 +2,8 @@
 
 fn main() {
     let params = hbc_bench::params_from_args();
-    println!("{}", hbc_core::experiments::table2::run(&params));
-    hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    hbc_bench::with_spans(&params, || {
+        println!("{}", hbc_core::experiments::table2::run(&params));
+        hbc_bench::emit_probes(&params, &[("32K ideal 2-port, 1~", &|s| s)]);
+    });
 }

@@ -1,0 +1,595 @@
+//! `hbc-bench compare` — the perf-regression differ over the committed
+//! `BENCH_*.json` baselines.
+//!
+//! Both benchmark emitters (`benches/throughput.rs` and `hbc-load`) stamp
+//! their reports with `"schema": 1`; this module loads two such reports,
+//! extracts a flat metric table from each, and compares them under
+//! configurable per-metric thresholds:
+//!
+//! * `BENCH_throughput.json` → `throughput.<metric>.best_units_per_sec`
+//!   (higher is better), plus `throughput.warm_fastpath_speedup` and
+//!   `throughput.jobs_sweep.speedup` when present;
+//! * `BENCH_serve.json` → per concurrency level
+//!   `serve.c<N>.throughput_rps` (higher is better) and
+//!   `serve.c<N>.latency.p{50,95,99}_ms` (lower is better).
+//!
+//! A metric *regresses* when the current value falls outside the
+//! threshold band around the baseline: for higher-is-better metrics,
+//! `current < baseline × r`; for lower-is-better, `current > baseline / r`
+//! (`r` defaults to [`Thresholds::DEFAULT_RATIO`] and can be overridden
+//! per metric-name prefix). A metric present in the baseline but missing
+//! from the current report also regresses — a perf gate that silently
+//! loses metrics is not a gate. Identical inputs always pass.
+//!
+//! Everything returns typed [`CompareError`]s — an unknown schema, a
+//! truncated file, or a malformed report must exit the CLI with a
+//! diagnostic, never a panic.
+
+use hbc_serve::json::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The schema version this differ understands.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Why a comparison could not run.
+#[derive(Debug)]
+pub enum CompareError {
+    /// A report file could not be read.
+    Io {
+        /// File that failed to read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A report file was not valid JSON.
+    Parse {
+        /// File that failed to parse.
+        path: PathBuf,
+        /// The underlying JSON error.
+        source: JsonError,
+    },
+    /// A report declared a schema version this differ does not understand
+    /// (or none at all).
+    Schema {
+        /// File with the bad schema stamp.
+        path: PathBuf,
+        /// The `"schema"` value found, if any.
+        found: Option<u64>,
+    },
+    /// A report parsed but did not look like either benchmark shape.
+    Shape {
+        /// File with the unrecognized shape.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// The two reports are different benchmark kinds (e.g. a throughput
+    /// baseline against a serve report).
+    KindMismatch {
+        /// Kind of the baseline report.
+        baseline: &'static str,
+        /// Kind of the current report.
+        current: &'static str,
+    },
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            CompareError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CompareError::Schema { path, found: Some(v) } => write!(
+                f,
+                "{}: unsupported schema version {v} (this build understands {SCHEMA_VERSION})",
+                path.display()
+            ),
+            CompareError::Schema { path, found: None } => write!(
+                f,
+                "{}: missing \"schema\" field (expected {SCHEMA_VERSION}; re-run the bench \
+                 to regenerate the report)",
+                path.display()
+            ),
+            CompareError::Shape { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            CompareError::KindMismatch { baseline, current } => write!(
+                f,
+                "report kinds differ: baseline is a {baseline} report, current is a {current} \
+                 report"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (throughput).
+    HigherIsBetter,
+    /// Smaller values are better (latency).
+    LowerIsBetter,
+}
+
+/// One extracted metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric {
+    /// The measured value.
+    pub value: f64,
+    /// Improvement direction.
+    pub direction: Direction,
+}
+
+/// Per-metric regression thresholds.
+///
+/// A ratio `r` means the current value may degrade to `r ×` the baseline
+/// (higher-is-better) or `baseline / r` (lower-is-better) before the
+/// metric counts as regressed. Overrides match by metric-name prefix;
+/// the longest matching prefix wins.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Ratio applied when no override matches.
+    pub default_ratio: f64,
+    /// `(metric-name prefix, ratio)` overrides.
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Thresholds {
+    /// The stock degradation allowance: 5 %.
+    pub const DEFAULT_RATIO: f64 = 0.95;
+
+    /// Thresholds with the stock default and no overrides.
+    pub fn new() -> Self {
+        Thresholds { default_ratio: Self::DEFAULT_RATIO, overrides: Vec::new() }
+    }
+
+    /// The ratio for `metric`: the longest matching override prefix, or
+    /// the default.
+    pub fn ratio_for(&self, metric: &str) -> f64 {
+        self.overrides
+            .iter()
+            .filter(|(prefix, _)| metric.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, r)| *r)
+            .unwrap_or(self.default_ratio)
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::new()
+    }
+}
+
+/// One compared metric in a [`CompareReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`None`: the metric vanished from the current
+    /// report, which counts as a regression).
+    pub current: Option<f64>,
+    /// Threshold ratio applied.
+    pub ratio: f64,
+    /// `true` when the metric regressed past its threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Benchmark kind (`"throughput"` or `"serve"`).
+    pub kind: &'static str,
+    /// One row per baseline metric, in name order.
+    pub rows: Vec<MetricRow>,
+    /// Metrics present only in the current report (new, informational).
+    pub added: Vec<String>,
+}
+
+impl CompareReport {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// Renders the comparison as an aligned text table with a verdict
+    /// line (`ok: …` or `REGRESSION: …`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>14}  {:>14}  {:>7}  verdict",
+            "metric", "baseline", "current", "ratio"
+        );
+        for row in &self.rows {
+            let (current, change, verdict) = match row.current {
+                Some(v) => {
+                    let change = if row.baseline.abs() > f64::EPSILON {
+                        format!("{:+.1}%", (v / row.baseline - 1.0) * 100.0)
+                    } else {
+                        "n/a".to_string()
+                    };
+                    let verdict = if row.regressed { "REGRESSED" } else { "ok" };
+                    (format!("{v:.3}"), change, verdict)
+                }
+                None => ("missing".to_string(), "n/a".to_string(), "REGRESSED"),
+            };
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>14.3}  {:>14}  {:>7}  {verdict} ({change})",
+                row.name, row.baseline, current, row.ratio
+            );
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "{name:width$}  (new metric, not compared)");
+        }
+        let regressions = self.regressions();
+        if regressions == 0 {
+            let _ = writeln!(out, "ok: {} metrics within thresholds", self.rows.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "REGRESSION: {regressions} of {} metrics past their threshold",
+                self.rows.len()
+            );
+        }
+        out
+    }
+}
+
+/// A parsed benchmark report: its kind plus the flat metric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `"throughput"` or `"serve"`.
+    pub kind: &'static str,
+    /// Metric name → value and direction.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+/// Reads and validates one benchmark report file.
+pub fn load_report(path: &Path) -> Result<BenchReport, CompareError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CompareError::Io { path: path.to_path_buf(), source })?;
+    let json = Json::parse(&text)
+        .map_err(|source| CompareError::Parse { path: path.to_path_buf(), source })?;
+    parse_report(path, &json)
+}
+
+/// Validates the schema stamp and extracts the metric table.
+pub fn parse_report(path: &Path, json: &Json) -> Result<BenchReport, CompareError> {
+    let obj = json.as_obj().ok_or_else(|| CompareError::Shape {
+        path: path.to_path_buf(),
+        message: "top level is not a JSON object".to_string(),
+    })?;
+    match obj.get("schema").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        found => return Err(CompareError::Schema { path: path.to_path_buf(), found }),
+    }
+    if obj.contains_key("metrics") {
+        parse_throughput(path, obj)
+    } else if obj.contains_key("levels") {
+        parse_serve(path, obj)
+    } else {
+        Err(CompareError::Shape {
+            path: path.to_path_buf(),
+            message: "object has neither \"metrics\" (throughput) nor \"levels\" (serve)"
+                .to_string(),
+        })
+    }
+}
+
+fn shape(path: &Path, message: impl Into<String>) -> CompareError {
+    CompareError::Shape { path: path.to_path_buf(), message: message.into() }
+}
+
+fn parse_throughput(
+    path: &Path,
+    obj: &BTreeMap<String, Json>,
+) -> Result<BenchReport, CompareError> {
+    let mut metrics = BTreeMap::new();
+    let entries = obj
+        .get("metrics")
+        .and_then(|m| match m {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        })
+        .ok_or_else(|| shape(path, "\"metrics\" is not an array"))?;
+    for (i, entry) in entries.iter().enumerate() {
+        let entry =
+            entry.as_obj().ok_or_else(|| shape(path, format!("metrics[{i}] is not an object")))?;
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape(path, format!("metrics[{i}] has no string \"name\"")))?;
+        let best = entry
+            .get("best_units_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| shape(path, format!("metrics[{i}] has no \"best_units_per_sec\"")))?;
+        metrics.insert(
+            format!("throughput.{name}.best_units_per_sec"),
+            Metric { value: best, direction: Direction::HigherIsBetter },
+        );
+    }
+    if let Some(speedup) = obj.get("warm_fastpath_speedup").and_then(Json::as_f64) {
+        metrics.insert(
+            "throughput.warm_fastpath_speedup".to_string(),
+            Metric { value: speedup, direction: Direction::HigherIsBetter },
+        );
+    }
+    if let Some(speedup) = obj
+        .get("jobs_sweep")
+        .and_then(Json::as_obj)
+        .and_then(|s| s.get("speedup"))
+        .and_then(Json::as_f64)
+    {
+        metrics.insert(
+            "throughput.jobs_sweep.speedup".to_string(),
+            Metric { value: speedup, direction: Direction::HigherIsBetter },
+        );
+    }
+    Ok(BenchReport { kind: "throughput", metrics })
+}
+
+fn parse_serve(path: &Path, obj: &BTreeMap<String, Json>) -> Result<BenchReport, CompareError> {
+    let mut metrics = BTreeMap::new();
+    let levels = obj
+        .get("levels")
+        .and_then(|m| match m {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        })
+        .ok_or_else(|| shape(path, "\"levels\" is not an array"))?;
+    for (i, level) in levels.iter().enumerate() {
+        let level =
+            level.as_obj().ok_or_else(|| shape(path, format!("levels[{i}] is not an object")))?;
+        let concurrency = level
+            .get("concurrency")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| shape(path, format!("levels[{i}] has no \"concurrency\"")))?;
+        let rps = level
+            .get("throughput_rps")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| shape(path, format!("levels[{i}] has no \"throughput_rps\"")))?;
+        metrics.insert(
+            format!("serve.c{concurrency}.throughput_rps"),
+            Metric { value: rps, direction: Direction::HigherIsBetter },
+        );
+        let latency = level
+            .get("latency")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| shape(path, format!("levels[{i}] has no \"latency\" object")))?;
+        for quantile in ["p50_ms", "p95_ms", "p99_ms"] {
+            let ms = latency
+                .get(quantile)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| shape(path, format!("levels[{i}].latency has no \"{quantile}\"")))?;
+            metrics.insert(
+                format!("serve.c{concurrency}.latency.{quantile}"),
+                Metric { value: ms, direction: Direction::LowerIsBetter },
+            );
+        }
+    }
+    Ok(BenchReport { kind: "serve", metrics })
+}
+
+/// Compares two parsed reports under `thresholds`.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    thresholds: &Thresholds,
+) -> Result<CompareReport, CompareError> {
+    if baseline.kind != current.kind {
+        return Err(CompareError::KindMismatch { baseline: baseline.kind, current: current.kind });
+    }
+    let mut rows = Vec::new();
+    for (name, base) in &baseline.metrics {
+        let ratio = thresholds.ratio_for(name);
+        let row = match current.metrics.get(name) {
+            Some(cur) => {
+                let regressed = match base.direction {
+                    Direction::HigherIsBetter => cur.value < base.value * ratio,
+                    Direction::LowerIsBetter => cur.value > base.value / ratio,
+                };
+                MetricRow {
+                    name: name.clone(),
+                    baseline: base.value,
+                    current: Some(cur.value),
+                    ratio,
+                    regressed,
+                }
+            }
+            None => MetricRow {
+                name: name.clone(),
+                baseline: base.value,
+                current: None,
+                ratio,
+                regressed: true,
+            },
+        };
+        rows.push(row);
+    }
+    let added = current
+        .metrics
+        .keys()
+        .filter(|name| !baseline.metrics.contains_key(*name))
+        .cloned()
+        .collect();
+    Ok(CompareReport { kind: baseline.kind, rows, added })
+}
+
+/// Loads both files and compares them (the CLI entry point's core).
+pub fn compare_files(
+    baseline: &Path,
+    current: &Path,
+    thresholds: &Thresholds,
+) -> Result<CompareReport, CompareError> {
+    let base = load_report(baseline)?;
+    let cur = load_report(current)?;
+    compare(&base, &cur, thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THROUGHPUT: &str = r#"{"schema":1,"probe_feature":false,"metrics":[
+        {"name":"workload_gen (inst/s)","units_per_rep":1000000,
+         "best_units_per_sec":16488713.0,"wall_s":0.31},
+        {"name":"full_core (inst/s)","units_per_rep":60000,
+         "best_units_per_sec":2454594.5,"wall_s":0.076}],
+        "jobs_sweep":{"figure":"fig6_fast","cells":36,"speedup":1.111}}"#;
+
+    const SERVE: &str = r#"{"schema":1,"bench":"hbc-serve load","config":{"requests":64},
+        "levels":[{"cache":{"hit-memory":49},"concurrency":1,
+         "latency":{"p50_ms":0.2,"p95_ms":1.5,"p99_ms":2.0},
+         "status":{"200":64},"throughput_rps":5000.0,"wall_s":0.01}]}"#;
+
+    fn report(text: &str) -> BenchReport {
+        let json = Json::parse(text).expect("test JSON parses");
+        parse_report(Path::new("test.json"), &json).expect("test report parses")
+    }
+
+    #[test]
+    fn identical_inputs_pass() {
+        for text in [THROUGHPUT, SERVE] {
+            let r = report(text);
+            let out = compare(&r, &r, &Thresholds::new()).expect("same kind");
+            assert_eq!(out.regressions(), 0, "{}", out.render());
+            assert!(out.render().starts_with("metric"));
+            assert!(out.render().contains("ok:"));
+        }
+    }
+
+    #[test]
+    fn injected_throughput_regression_is_caught() {
+        let base = report(THROUGHPUT);
+        let mut cur = base.clone();
+        if let Some(m) = cur.metrics.get_mut("throughput.full_core (inst/s).best_units_per_sec") {
+            m.value *= 0.5; // 2x slowdown
+        } else {
+            panic!("metric key changed");
+        }
+        let out = compare(&base, &cur, &Thresholds::new()).expect("same kind");
+        assert_eq!(out.regressions(), 1);
+        assert!(out.render().contains("REGRESSED"));
+        assert!(out.render().contains("REGRESSION: 1 of"));
+    }
+
+    #[test]
+    fn latency_regresses_upward_only() {
+        let base = report(SERVE);
+        let mut slower = base.clone();
+        if let Some(m) = slower.metrics.get_mut("serve.c1.latency.p95_ms") {
+            m.value *= 3.0;
+        }
+        let out = compare(&base, &slower, &Thresholds::new()).expect("same kind");
+        assert_eq!(out.regressions(), 1);
+        // Faster latency is an improvement, never a regression.
+        let mut faster = base.clone();
+        for m in faster.metrics.values_mut() {
+            if m.direction == Direction::LowerIsBetter {
+                m.value *= 0.5;
+            }
+        }
+        assert_eq!(
+            compare(&base, &faster, &Thresholds::new()).expect("same kind").regressions(),
+            0
+        );
+    }
+
+    #[test]
+    fn missing_metric_regresses_and_new_metric_informs() {
+        let base = report(THROUGHPUT);
+        let mut cur = base.clone();
+        cur.metrics.remove("throughput.jobs_sweep.speedup");
+        cur.metrics.insert(
+            "throughput.brand_new".to_string(),
+            Metric { value: 1.0, direction: Direction::HigherIsBetter },
+        );
+        let out = compare(&base, &cur, &Thresholds::new()).expect("same kind");
+        assert_eq!(out.regressions(), 1);
+        assert_eq!(out.added, ["throughput.brand_new"]);
+        assert!(out.render().contains("missing"));
+        assert!(out.render().contains("new metric"));
+    }
+
+    #[test]
+    fn threshold_overrides_pick_longest_prefix() {
+        let mut t = Thresholds::new();
+        t.overrides.push(("serve.".to_string(), 0.5));
+        t.overrides.push(("serve.c1.latency".to_string(), 0.9));
+        assert_eq!(t.ratio_for("serve.c1.throughput_rps"), 0.5);
+        assert_eq!(t.ratio_for("serve.c1.latency.p99_ms"), 0.9);
+        assert_eq!(t.ratio_for("throughput.x"), Thresholds::DEFAULT_RATIO);
+
+        // A loose override forgives what the default would flag.
+        let base = report(SERVE);
+        let mut cur = base.clone();
+        if let Some(m) = cur.metrics.get_mut("serve.c1.throughput_rps") {
+            m.value *= 0.6;
+        }
+        assert_eq!(compare(&base, &cur, &Thresholds::new()).expect("kind").regressions(), 1);
+        let mut loose = Thresholds::new();
+        loose.overrides.push(("serve.c1.throughput_rps".to_string(), 0.5));
+        assert_eq!(compare(&base, &cur, &loose).expect("kind").regressions(), 0);
+    }
+
+    #[test]
+    fn schema_violations_are_typed_errors() {
+        let missing = Json::parse(r#"{"metrics":[]}"#).expect("parses");
+        match parse_report(Path::new("t.json"), &missing) {
+            Err(CompareError::Schema { found: None, .. }) => {}
+            other => panic!("expected missing-schema error, got {other:?}"),
+        }
+        let wrong = Json::parse(r#"{"schema":99,"metrics":[]}"#).expect("parses");
+        match parse_report(Path::new("t.json"), &wrong) {
+            Err(CompareError::Schema { found: Some(99), .. }) => {}
+            other => panic!("expected wrong-schema error, got {other:?}"),
+        }
+        assert!(format!(
+            "{}",
+            CompareError::Schema { path: PathBuf::from("t.json"), found: Some(99) }
+        )
+        .contains("unsupported schema version 99"));
+    }
+
+    #[test]
+    fn shape_and_kind_errors_are_typed() {
+        let neither = Json::parse(r#"{"schema":1,"x":2}"#).expect("parses");
+        assert!(matches!(
+            parse_report(Path::new("t.json"), &neither),
+            Err(CompareError::Shape { .. })
+        ));
+        let t = report(THROUGHPUT);
+        let s = report(SERVE);
+        match compare(&t, &s, &Thresholds::new()) {
+            Err(CompareError::KindMismatch { baseline: "throughput", current: "serve" }) => {}
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn committed_baselines_parse() {
+        // The repo's own committed baselines must always satisfy the
+        // schema this differ enforces.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for name in ["BENCH_throughput.json", "BENCH_serve.json"] {
+            let path = root.join("results").join(name);
+            let report = load_report(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!report.metrics.is_empty(), "{name}: no metrics extracted");
+            let out = compare(&report, &report, &Thresholds::new()).expect("same kind");
+            assert_eq!(out.regressions(), 0);
+        }
+    }
+}

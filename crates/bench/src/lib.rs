@@ -13,13 +13,21 @@
 //! * `--jobs N` — worker threads for the experiment sweeps (`0` or omitted:
 //!   available parallelism; `1`: serial). Results are bit-identical for
 //!   every value;
+//! * `--spans out.jsonl` — write per-phase span records (warm-up, measured
+//!   run, report, plus the exec engine's steal/run/merge) to a JSONL file
+//!   after the run. Spans carry data only in `--features span` builds and
+//!   never change the figures;
 //! * (default) — 60 K-instruction windows, all nine benchmarks.
+//!
+//! The crate also ships the `hbc-bench` CLI whose `compare` subcommand is
+//! the perf-regression gate over `results/BENCH_*.json` (see [`compare`]).
 
 #![warn(missing_docs)]
 
 use hbc_core::report::{probe_table, stall_table};
 use hbc_core::{ExpParams, SimBuilder};
 
+pub mod compare;
 pub mod timer;
 
 /// Parses the common experiment flags from `std::env::args`.
@@ -60,6 +68,10 @@ pub fn params_from(args: impl IntoIterator<Item = String>) -> ExpParams {
                 let v = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
                 params.jobs = v.parse().unwrap_or_else(|_| usage("--jobs needs an integer"));
             }
+            "--spans" => {
+                let v = args.next().unwrap_or_else(|| usage("--spans needs a file path"));
+                params.spans_out = Some(std::path::PathBuf::from(v));
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -87,9 +99,50 @@ pub fn jobs_from_args() -> usize {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: <bin> [--fast|--full] [--reps] [--seed N] [--probes] [--trace-window N] [--jobs N]"
+        "usage: <bin> [--fast|--full] [--reps] [--seed N] [--probes] [--trace-window N] \
+         [--jobs N] [--spans out.jsonl]"
     );
     std::process::exit(2);
+}
+
+/// Span-log retention while a figure binary runs: generous enough that a
+/// full nine-benchmark sweep (a few spans per cell) never wraps.
+const SPAN_CAPACITY: usize = 65_536;
+
+/// Runs `f` with the span sink installed when the user asked for
+/// `--spans out.jsonl`, then writes the recorded spans to that file.
+///
+/// Without the flag this is exactly `f()`. With the flag but without the
+/// `span` cargo feature, the file is still written (empty) and a note
+/// explains how to get data, mirroring how `probe_report` degrades. The
+/// sink is process-global, so figure binaries install it exactly once,
+/// around their whole run.
+pub fn with_spans<R>(params: &ExpParams, f: impl FnOnce() -> R) -> R {
+    let Some(path) = &params.spans_out else {
+        return f();
+    };
+    if !cfg!(feature = "span") {
+        eprintln!(
+            "note: built without the `span` feature; {} will be empty (rebuild with \
+             `--features span` for span data)",
+            path.display()
+        );
+    }
+    let log = hbc_core::spans::install(SPAN_CAPACITY);
+    let out = f();
+    hbc_core::spans::uninstall();
+    if let Err(e) = std::fs::write(path, log.to_jsonl()) {
+        eprintln!("error: cannot write spans to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    if log.dropped() > 0 {
+        eprintln!(
+            "note: span ring wrapped; {} oldest spans were dropped (capacity {})",
+            log.dropped(),
+            SPAN_CAPACITY
+        );
+    }
+    out
 }
 
 /// Emits the `--probes` / `--trace-window` report for a figure binary: one
@@ -175,6 +228,26 @@ mod tests {
     fn seed_parses() {
         let p = params_from(["--seed", "7"].map(String::from));
         assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn spans_flag_parses_and_with_spans_writes_the_file() {
+        let p = params_from(["--spans", "out.jsonl"].map(String::from));
+        assert_eq!(p.spans_out.as_deref(), Some(std::path::Path::new("out.jsonl")));
+        assert!(params_from(Vec::<String>::new()).spans_out.is_none());
+
+        let dir = std::env::temp_dir().join(format!("hbc_spans_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("spans.jsonl");
+        let mut p = ExpParams::fast();
+        p.spans_out = Some(path.clone());
+        let got = with_spans(&p, || 42);
+        assert_eq!(got, 42);
+        let written = std::fs::read_to_string(&path).expect("spans file written");
+        // Nothing simulated inside the closure, so the file is empty in
+        // every feature combination; the point is that it exists.
+        assert_eq!(written, "");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -60,7 +60,13 @@ where
 {
     let jobs = if jobs == 0 { default_jobs() } else { jobs }.min(cells.max(1));
     if jobs <= 1 {
-        return (0..cells).map(cell).collect();
+        return (0..cells)
+            .map(|i| {
+                crate::spans::begin_request();
+                let _run = crate::spans::enter("exec.run");
+                cell(i)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let cell = &cell;
@@ -72,11 +78,16 @@ where
                 scope.spawn(|| {
                     let mut done = Vec::new();
                     loop {
+                        let steal_start = crate::spans::now_us();
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cells {
                             break;
                         }
+                        crate::spans::begin_request();
+                        crate::spans::record_since("exec.steal", steal_start);
+                        let run = crate::spans::enter("exec.run");
                         done.push((i, cell(i)));
+                        drop(run);
                     }
                     done
                 })
@@ -85,6 +96,8 @@ where
         // Index-ordered merge: each worker's buffered (index, result) pairs
         // land in their slots only after the worker has finished; arrival
         // order is irrelevant because the slot is the cell index.
+        crate::spans::begin_request();
+        let _merge = crate::spans::enter("exec.merge");
         for worker in workers {
             match worker.join() {
                 Ok(done) => {

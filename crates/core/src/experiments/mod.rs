@@ -53,6 +53,11 @@ pub struct ExpParams {
     /// the host's available parallelism, `1` the serial path. Results are
     /// bit-identical for every value — only wall-clock changes.
     pub jobs: usize,
+    /// Write per-phase span records to this JSONL file after the run
+    /// (`--spans out.jsonl`); `None` disables span collection. Spans only
+    /// carry data when the `span` cargo feature is compiled in, and never
+    /// change the simulated numbers either way.
+    pub spans_out: Option<std::path::PathBuf>,
 }
 
 impl ExpParams {
@@ -67,6 +72,7 @@ impl ExpParams {
             probes: false,
             trace_window: 0,
             jobs: 0,
+            spans_out: None,
         }
     }
 

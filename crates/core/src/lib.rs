@@ -32,9 +32,13 @@ pub mod experiments;
 mod misses;
 pub mod report;
 mod sim;
+pub mod spans;
 
 pub use experiments::ExpParams;
-pub use hbc_probe::{ProbeExport, ProbeRegistry, StallBreakdown, StallCause};
+pub use hbc_probe::{
+    is_registered_stage, ProbeExport, ProbeRegistry, SpanLog, SpanRecord, StallBreakdown,
+    StallCause, STAGE_NAMES,
+};
 pub use hbc_workloads::Benchmark;
 pub use misses::{miss_curve, misses_per_instruction};
 pub use sim::{SimBuilder, SimResult, DEFAULT_CACHE_WARM, DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP};

@@ -210,19 +210,26 @@ impl SimBuilder {
         // fast path advances the generator with full draw parity while
         // skipping instruction assembly, so the measured stream is the one
         // `next_inst` alone would produce.
-        for _ in 0..self.cache_warm {
-            if let Some(addr) = gen.next_warm() {
-                mem.warm_touch(addr);
+        let mut core = {
+            let _span = crate::spans::enter("sim.warm_up");
+            for _ in 0..self.cache_warm {
+                if let Some(addr) = gen.next_warm() {
+                    mem.warm_touch(addr);
+                }
             }
-        }
-        let mut core = Core::new(self.cpu.clone(), mem, gen).expect("valid CPU configuration");
-        if self.trace_window > 0 {
-            core.enable_trace(self.trace_window as usize);
-        }
-        if self.warmup > 0 {
-            core.run(self.warmup);
-        }
-        let run = core.run(self.instructions);
+            let mut core = Core::new(self.cpu.clone(), mem, gen).expect("valid CPU configuration");
+            if self.trace_window > 0 {
+                core.enable_trace(self.trace_window as usize);
+            }
+            if self.warmup > 0 {
+                core.run(self.warmup);
+            }
+            core
+        };
+        let run = {
+            let _span = crate::spans::enter("sim.measured");
+            core.run(self.instructions)
+        };
         let probes = self.probes.then(|| {
             let mut reg = ProbeRegistry::new();
             run.export_probes(&mut reg);

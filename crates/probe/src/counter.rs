@@ -162,6 +162,33 @@ impl Histogram {
         self.buckets.get(k).copied().unwrap_or(0)
     }
 
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]` (zero when empty).
+    ///
+    /// The histogram only retains power-of-two buckets, so the estimate
+    /// returns the upper edge of the bucket containing the target rank —
+    /// an upper bound within 2× of the true sample — clamped into the
+    /// exact `[min, max]` range. `q = 0` returns the exact minimum and
+    /// `q = 1` the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, occupancy) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*occupancy);
+            if cumulative >= rank {
+                // Upper edge of bucket k: values of bit length k are in
+                // [2^(k-1), 2^k - 1]; bucket 0 holds only zero.
+                let edge = if k == 0 { 0 } else { (1u64 << (k - 1)).saturating_mul(2) - 1 };
+                return edge.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
     /// `(count, sum, min, max)` rendered as a JSON object fragment.
     pub(crate) fn to_json(&self) -> String {
         format!(
@@ -226,6 +253,30 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_range() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0); // empty
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // q=0 and q=1 are exact; mid quantiles are upper bucket edges
+        // within 2x of the true sample and never outside [min, max].
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+        for q in [0.5f64, 0.95, 0.99] {
+            let true_rank = (q * 100.0).ceil() as u64;
+            let est = h.quantile(q);
+            assert!(est >= true_rank, "q={q}: {est} < {true_rank}");
+            assert!(est <= (true_rank * 2).min(100), "q={q}: {est} too high");
+        }
+        // Single-value histograms report that value at every quantile.
+        let mut one = Histogram::default();
+        one.record_n(37, 5);
+        assert_eq!(one.quantile(0.5), 37);
+        assert_eq!(one.quantile(0.99), 37);
     }
 
     #[test]

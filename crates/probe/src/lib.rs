@@ -18,6 +18,10 @@
 //! * [`ProbeExport`] — implemented by the workspace's statistics structs
 //!   (`RunStats`, `MemStats`, `StreamStats`) so every counter has one
 //!   naming scheme and one reporting path.
+//! * [`SpanLog`] / [`SpanRecord`] — request-scoped structured spans: a
+//!   thread-safe bounded ring of per-stage timings (clockless; callers
+//!   supply monotonic microsecond stamps) exported as JSONL. Stage names
+//!   are registered in [`STAGE_NAMES`] and lint-checked at call sites.
 //!
 //! This crate holds *data types only*; it does no per-cycle work by
 //! itself. The per-cycle instrumentation that feeds these types lives in
@@ -43,11 +47,13 @@
 mod counter;
 mod name;
 mod registry;
+pub mod span;
 mod stall;
 mod trace;
 
 pub use counter::{saturating_count, Counter, Histogram};
 pub use name::is_valid_probe_name;
 pub use registry::{ProbeExport, ProbeRegistry};
+pub use span::{is_registered_stage, SpanLog, SpanRecord, STAGE_NAMES};
 pub use stall::{StallBreakdown, StallCause};
 pub use trace::{TraceEvent, Tracer};

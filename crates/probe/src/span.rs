@@ -1,0 +1,352 @@
+//! Request-scoped structured spans: a thread-safe bounded ring of
+//! `(request, span, parent, stage, start, duration)` records with JSONL
+//! export.
+//!
+//! A *span* is one timed stage of a larger unit of work: a request's
+//! `serve.parse` phase, one cell's `exec.run` slice, a figure driver's
+//! `sim.measured` run. Spans nest through `parent` span IDs and group
+//! through a shared `request` ID, so a JSONL export reconstructs exactly
+//! where a request's wall-clock went.
+//!
+//! Like the rest of this crate, the types here are *clockless*: callers
+//! pass monotonic timestamps in (microseconds from an origin they choose).
+//! The simulator side derives them from an `Instant` origin confined to
+//! `hbc-core`'s feature-gated `spans` module; `hbc-serve` stamps spans from
+//! its own process-start origin. Keeping the clock out of this crate keeps
+//! it usable from deterministic simulation code without ever touching the
+//! wall clock itself.
+//!
+//! Every stage name recorded here must appear in [`STAGE_NAMES`]; the
+//! `probe-coverage` lint in `hbc-analyze` cross-checks literal stage names
+//! at `enter(…)` / `record_at(…)` / `record_since(…)` call sites against
+//! that table, so a typo'd stage can't silently vanish from reports.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_probe::{SpanLog, SpanRecord};
+//!
+//! let log = SpanLog::new(16);
+//! let request = log.next_request_id();
+//! let span = log.next_span_id();
+//! log.record(SpanRecord {
+//!     request,
+//!     span,
+//!     parent: 0,
+//!     stage: "serve.parse",
+//!     start_us: 10,
+//!     dur_us: 250,
+//! });
+//! assert_eq!(log.len(), 1);
+//! assert!(log.to_jsonl().contains("\"stage\":\"serve.parse\""));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+// Interior mutability is required for a shared ring written by server and
+// worker threads; spans are observability metadata, never simulation
+// results, so arrival-order interleaving cannot affect figure output.
+// hbc-allow: exec-merge (span ring holds observability metadata, not simulation results; sim output never reads it)
+use std::sync::Mutex;
+
+/// The registered stage-name table: every stage a span may be recorded
+/// under, across all three instrumented layers.
+///
+/// `hbc-analyze`'s `probe-coverage` rule checks literal stage names at
+/// span call sites against this table. Keep it sorted by layer.
+pub const STAGE_NAMES: &[&str] = &[
+    // hbc-serve request lifecycle, in order.
+    "serve.accept",
+    "serve.parse",
+    "serve.queue_wait",
+    "serve.cache_lookup",
+    "serve.single_flight_wait",
+    "serve.simulate",
+    "serve.serialize",
+    "serve.write",
+    // hbc-exec parallel engine, per cell.
+    "exec.steal",
+    "exec.run",
+    "exec.merge",
+    // hbc-core figure drivers, per phase.
+    "sim.warm_up",
+    "sim.measured",
+    "figure.report",
+];
+
+/// `true` when `stage` appears in [`STAGE_NAMES`].
+pub fn is_registered_stage(stage: &str) -> bool {
+    STAGE_NAMES.contains(&stage)
+}
+
+/// One completed span: a named stage of one request, with monotonic
+/// microsecond timestamps supplied by the caller.
+///
+/// `parent` is the span ID of the enclosing span, or 0 for a root span.
+/// `request` groups all spans belonging to one unit of work (an HTTP
+/// request, one figure cell). IDs are allocated from the owning
+/// [`SpanLog`] and are unique within it; 0 is never allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// ID of the request (unit of work) this span belongs to.
+    pub request: u64,
+    /// This span's ID, unique within the log.
+    pub span: u64,
+    /// Enclosing span's ID, or 0 for a root span.
+    pub parent: u64,
+    /// Registered stage name (must appear in [`STAGE_NAMES`]).
+    pub stage: &'static str,
+    /// Start time, microseconds from the caller's monotonic origin.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// The record as one JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"request\":{},\"span\":{},\"parent\":{},\"stage\":\"{}\",\"start_us\":{},\"dur_us\":{}}}",
+            self.request, self.span, self.parent, self.stage, self.start_us, self.dur_us
+        )
+    }
+}
+
+/// The bounded ring of retained records plus the eviction count.
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A thread-safe bounded span log: always retains the most recent
+/// `capacity` [`SpanRecord`]s, dropping the oldest as new ones arrive,
+/// and allocates the request/span IDs recorded into it.
+///
+/// Writers on any thread call [`record`](SpanLog::record); readers export
+/// a consistent snapshot with [`to_jsonl`](SpanLog::to_jsonl). ID
+/// allocation is lock-free; the ring itself is guarded by a mutex held
+/// only for the push or the snapshot copy. Capacity 0 disables retention
+/// (records are counted as dropped), which is how the span feature stays
+/// observably free when no sink is installed.
+#[derive(Debug)]
+pub struct SpanLog {
+    capacity: usize,
+    // hbc-allow: exec-merge (span ring holds observability metadata, not simulation results; sim output never reads it)
+    ring: Mutex<Ring>,
+    next_request: AtomicU64,
+    next_span: AtomicU64,
+}
+
+/// Recovers the ring from a poisoned lock: a panicking writer can only
+/// have lost its own record, and observability must not take the process
+/// down with it.
+// hbc-allow: exec-merge (span ring holds observability metadata, not simulation results; sim output never reads it)
+fn ring_lock(ring: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
+    ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SpanLog {
+    /// A log retaining the last `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            capacity,
+            // hbc-allow: exec-merge (span ring holds observability metadata, not simulation results; sim output never reads it)
+            ring: Mutex::new(Ring {
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            }),
+            next_request: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// Retention capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates the next request ID (monotonic from 1; never 0).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates the next span ID (monotonic from 1; never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    ///
+    /// Debug builds assert the stage name is registered in
+    /// [`STAGE_NAMES`]; release builds record it regardless so a stale
+    /// binary never loses data.
+    pub fn record(&self, record: SpanRecord) {
+        debug_assert!(
+            is_registered_stage(record.stage),
+            "span stage {:?} is not in hbc_probe::span::STAGE_NAMES",
+            record.stage
+        );
+        let mut ring = ring_lock(&self.ring);
+        if self.capacity == 0 {
+            ring.dropped = ring.dropped.saturating_add(1);
+            return;
+        }
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped = ring.dropped.saturating_add(1);
+        }
+        ring.records.push_back(record);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        ring_lock(&self.ring).records.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many records were evicted (or discarded by a zero-capacity
+    /// log) since creation.
+    pub fn dropped(&self) -> u64 {
+        ring_lock(&self.ring).dropped
+    }
+
+    /// A snapshot of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        ring_lock(&self.ring).records.iter().copied().collect()
+    }
+
+    /// The retained window as JSON lines, oldest first, one record per
+    /// line (trailing newline after each line).
+    pub fn to_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::new();
+        for r in &records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_table_is_sorted_within_layers_and_valid() {
+        for stage in STAGE_NAMES {
+            assert!(crate::is_valid_probe_name(stage), "bad stage name {stage:?}");
+            assert!(is_registered_stage(stage));
+        }
+        assert!(!is_registered_stage("serve.bogus"));
+    }
+
+    #[test]
+    fn ids_are_unique_and_never_zero() {
+        let log = SpanLog::new(4);
+        let a = log.next_request_id();
+        let b = log.next_request_id();
+        let s1 = log.next_span_id();
+        let s2 = log.next_span_id();
+        assert!(a > 0 && b > 0 && s1 > 0 && s2 > 0);
+        assert_ne!(a, b);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let log = SpanLog::new(3);
+        for i in 0..10u64 {
+            log.record(SpanRecord {
+                request: 1,
+                span: i + 1,
+                parent: 0,
+                stage: "exec.run",
+                start_us: i,
+                dur_us: 1,
+            });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let spans: Vec<u64> = log.snapshot().iter().map(|r| r.span).collect();
+        assert_eq!(spans, [8, 9, 10]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let log = SpanLog::new(0);
+        log.record(SpanRecord {
+            request: 1,
+            span: 1,
+            parent: 0,
+            stage: "serve.write",
+            start_us: 0,
+            dur_us: 5,
+        });
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_round_trips_fields() {
+        let log = SpanLog::new(8);
+        log.record(SpanRecord {
+            request: 3,
+            span: 7,
+            parent: 2,
+            stage: "serve.simulate",
+            start_us: 1500,
+            dur_us: 2500,
+        });
+        assert_eq!(
+            log.to_jsonl(),
+            "{\"request\":3,\"span\":7,\"parent\":2,\"stage\":\"serve.simulate\",\
+             \"start_us\":1500,\"dur_us\":2500}\n"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_under_capacity() {
+        let log = std::sync::Arc::new(SpanLog::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        log.record(SpanRecord {
+                            request: t + 1,
+                            span: log.next_span_id(),
+                            parent: 0,
+                            stage: "exec.run",
+                            start_us: i,
+                            dur_us: 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 256);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not in hbc_probe::span::STAGE_NAMES")]
+    fn unregistered_stage_asserts_in_debug() {
+        let log = SpanLog::new(4);
+        log.record(SpanRecord {
+            request: 1,
+            span: 1,
+            parent: 0,
+            stage: "serve.not_a_stage",
+            start_us: 0,
+            dur_us: 0,
+        });
+    }
+}

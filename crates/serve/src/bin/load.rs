@@ -203,6 +203,7 @@ fn render_report(opts: &Options, levels: &[Level]) -> String {
         })
         .collect();
     let mut root = BTreeMap::new();
+    root.insert("schema".to_string(), Json::U64(1));
     root.insert("bench".to_string(), Json::Str("hbc-serve load".to_string()));
     root.insert("config".to_string(), Json::Obj(config));
     root.insert("levels".to_string(), Json::Arr(levels));
@@ -245,22 +246,54 @@ fn smoke(opts: &Options) {
         Ok(resp) => resp,
         Err(e) => fail(&format!("metrics request failed: {e}")),
     };
-    let hits = Json::parse(&metrics.text())
-        .ok()
-        .and_then(|v| {
-            let counters = v.as_obj()?.get("counters")?.as_obj().cloned()?;
-            Some(
-                counters.get("serve.cache.hits.memory")?.as_u64()?
-                    + counters.get("serve.cache.hits.disk")?.as_u64()?,
-            )
-        })
-        .unwrap_or_else(|| fail("metrics response is missing the cache-hit counters"));
-    if hits == 0 {
+    // `/metrics` is Prometheus text; the strict parser doubles as a
+    // format-validity gate in CI.
+    let samples = match hbc_serve::metrics::parse_prometheus(&metrics.text()) {
+        Ok(samples) => samples,
+        Err(e) => fail(&format!("metrics body is not valid Prometheus text: {e}")),
+    };
+    let hits: f64 =
+        samples.iter().filter(|s| s.name == "serve_cache_hits_total").map(|s| s.value).sum();
+    if samples.iter().all(|s| s.name != "serve_cache_hits_total") {
+        fail("metrics response is missing the cache-hit counters");
+    }
+    if hits == 0.0 {
         fail("metrics report zero cache hits after a hit response");
+    }
+    let hits = hits as u64;
+    // Capture the span trace: every line must be a JSON object naming a
+    // registered stage. Saved for CI to archive as an artifact.
+    let trace = match client::request(opts.addr, opts.timeout, "GET", "/trace", b"") {
+        Ok(resp) => resp,
+        Err(e) => fail(&format!("trace request failed: {e}")),
+    };
+    let trace_text = trace.text();
+    let mut spans = 0usize;
+    for line in trace_text.lines() {
+        let record = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trace line is not JSON ({e}): {line}")));
+        let stage = record
+            .as_obj()
+            .and_then(|o| o.get("stage"))
+            .and_then(|s| s.as_str())
+            .unwrap_or_else(|| fail(&format!("trace line has no stage: {line}")));
+        if !hbc_probe::is_registered_stage(stage) {
+            fail(&format!("trace carries unregistered stage {stage:?}"));
+        }
+        spans += 1;
+    }
+    if spans == 0 {
+        fail("trace is empty after served requests");
+    }
+    let trace_out = std::path::Path::new("results/TRACE_smoke.jsonl");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Err(e) = std::fs::write(trace_out, &trace_text) {
+            eprintln!("note: could not write {}: {e}", trace_out.display());
+        }
     }
     println!(
         "hbc-load smoke: ok ({} payload bytes, second request X-Cache: {label}, \
-         {hits} cache hit(s) in /metrics)",
+         {hits} cache hit(s) in /metrics, {spans} spans in /trace)",
         expected.len()
     );
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! hbc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
 //!           [--max-jobs N] [--cache-dir PATH|none] [--cache-entries N]
+//!           [--span-capacity N]
 //! ```
 //!
 //! Binds, prints the listening URL, and serves until a client POSTs
@@ -10,7 +11,10 @@
 //!
 //! * `POST /run` — body `{"experiment":"fig6","preset":"fast",…}`; the
 //!   response is byte-identical to the figure binary's standard output.
-//! * `GET /metrics` — probe-registry JSON of service counters.
+//! * `GET /metrics` — Prometheus text: counters, queue gauges, and
+//!   p50/p95/p99 latency and per-stage summaries.
+//! * `GET /metrics.json` — the probe-registry JSON of service counters.
+//! * `GET /trace` — the most recent request spans as JSON lines.
 //! * `GET /experiments` — what can be requested.
 //! * `GET /healthz`, `POST /shutdown`.
 
@@ -61,6 +65,9 @@ fn config_from_args() -> ServerConfig {
             "--cache-entries" => {
                 config.cache_entries = parse(&value("--cache-entries"), "--cache-entries");
             }
+            "--span-capacity" => {
+                config.span_capacity = parse(&value("--span-capacity"), "--span-capacity");
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -75,7 +82,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: hbc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N] \
-         [--max-jobs N] [--cache-dir PATH|none] [--cache-entries N]"
+         [--max-jobs N] [--cache-dir PATH|none] [--cache-entries N] [--span-capacity N]"
     );
     std::process::exit(2);
 }

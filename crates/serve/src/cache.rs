@@ -33,6 +33,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::lock;
@@ -68,12 +69,14 @@ impl Lru {
         Some(entry.body.clone())
     }
 
-    fn put(&mut self, hash: &str, body: &str, capacity: usize) {
+    /// Inserts, returning how many entries were evicted to make room.
+    fn put(&mut self, hash: &str, body: &str, capacity: usize) -> u64 {
         if capacity == 0 {
-            return;
+            return 0;
         }
         self.tick += 1;
         self.entries.insert(hash.to_string(), Entry { body: body.to_string(), stamp: self.tick });
+        let mut evicted = 0;
         while self.entries.len() > capacity {
             // O(n) victim scan; the LRU is small (tens of entries) and
             // eviction happens at most once per insert.
@@ -83,7 +86,9 @@ impl Lru {
                 break;
             };
             self.entries.remove(&victim);
+            evicted += 1;
         }
+        evicted
     }
 }
 
@@ -95,19 +100,30 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     capacity: usize,
     lru: Mutex<Lru>,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
     /// A cache persisting to `dir`, holding at most `capacity` entries in
     /// memory. The directory is created on first insert.
     pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> Self {
-        ResultCache { dir: Some(dir.into()), capacity, lru: Mutex::new(Lru::default()) }
+        ResultCache {
+            dir: Some(dir.into()),
+            capacity,
+            lru: Mutex::new(Lru::default()),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// A memory-only cache (no persistence) — used by tests and by
     /// `--cache-dir none`.
     pub fn in_memory(capacity: usize) -> Self {
-        ResultCache { dir: None, capacity, lru: Mutex::new(Lru::default()) }
+        ResultCache {
+            dir: None,
+            capacity,
+            lru: Mutex::new(Lru::default()),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The on-disk location, if persistence is enabled.
@@ -139,7 +155,8 @@ impl ResultCache {
             #[cfg(not(feature = "sanitize"))]
             return None;
         }
-        lock(&self.lru).put(hash, &body, self.capacity);
+        let evicted = lock(&self.lru).put(hash, &body, self.capacity);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Some((body, Tier::Disk))
     }
 
@@ -148,7 +165,8 @@ impl ResultCache {
     /// are reported to the caller but the memory tier is always updated —
     /// a full disk degrades persistence, not serving.
     pub fn put(&self, hash: &str, canonical: &str, body: &str) -> io::Result<()> {
-        lock(&self.lru).put(hash, body, self.capacity);
+        let evicted = lock(&self.lru).put(hash, body, self.capacity);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         let Some(dir) = self.dir.as_ref() else {
             return Ok(());
         };
@@ -160,6 +178,12 @@ impl ResultCache {
     /// Number of entries currently resident in the memory tier.
     pub fn memory_len(&self) -> usize {
         lock(&self.lru).entries.len()
+    }
+
+    /// Total memory-tier entries evicted since creation (inserts and disk
+    /// promotions both count; the `serve.cache.evictions` metric).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -194,9 +218,11 @@ mod tests {
         let cache = ResultCache::in_memory(2);
         cache.put("a", "sa", "1").unwrap();
         cache.put("b", "sb", "2").unwrap();
+        assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.get("a", "sa").map(|(b, _)| b).as_deref(), Some("1")); // refresh a
         cache.put("c", "sc", "3").unwrap();
         assert_eq!(cache.memory_len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get("b", "sb").is_none(), "b was the LRU victim");
         assert!(cache.get("a", "sa").is_some());
         assert!(cache.get("c", "sc").is_some());

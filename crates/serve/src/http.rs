@@ -136,15 +136,17 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `Connection: close` response with optional extra headers
-/// (each a pre-formatted `Name: value` pair) and flushes.
-pub fn write_response(
-    stream: &mut impl Write,
+/// Renders one complete `Connection: close` response — head, optional
+/// extra headers (each a pre-formatted `Name: value` pair), and body — as
+/// the exact bytes the wire will carry. Split from [`write_response`] so
+/// the server can time serialization and the socket write as separate
+/// spans.
+pub fn render_response(
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
-) -> io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
@@ -157,8 +159,21 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// Writes one `Connection: close` response with optional extra headers
+/// (each a pre-formatted `Name: value` pair) and flushes.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    stream.write_all(&render_response(status, content_type, extra_headers, body))?;
     stream.flush()
 }
 

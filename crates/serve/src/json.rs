@@ -141,6 +141,15 @@ impl Json {
         }
     }
 
+    /// The value as a float, if it is numeric (exact integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// The boolean, if this value is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -14,8 +14,11 @@
 //!   with a fixed worker pool, a bounded admission queue (429 on
 //!   overload), single-flight coalescing of concurrent identical
 //!   requests, per-request timeouts, and graceful drain on shutdown;
-//! * [`metrics`] — request/cache/queue/latency counters exported through
-//!   the `hbc-probe` registry at `GET /metrics`;
+//! * [`metrics`] — request/cache/queue/latency counters and per-stage
+//!   quantiles in the Prometheus text format at `GET /metrics` (legacy
+//!   `hbc-probe` registry JSON at `GET /metrics.json`);
+//! * [`spans`] — request-scoped span tracing across the whole request
+//!   lifecycle, exported as JSON lines at `GET /trace`;
 //! * [`client`] — the minimal blocking HTTP client used by the `hbc-load`
 //!   generator and the end-to-end tests.
 //!
@@ -44,6 +47,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod spans;
 pub mod spec;
 
 use std::sync::{Mutex, MutexGuard};

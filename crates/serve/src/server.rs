@@ -41,6 +41,7 @@ use crate::http::{self, HttpError, Request};
 use crate::json::Json;
 use crate::lock;
 use crate::metrics::Metrics;
+use crate::spans::ServeSpans;
 use crate::spec::{ExperimentId, Preset, RunRequest};
 
 /// Server construction parameters.
@@ -63,6 +64,8 @@ pub struct ServerConfig {
     pub cache_dir: Option<std::path::PathBuf>,
     /// In-memory result-cache entries.
     pub cache_entries: usize,
+    /// Most recent spans retained for `GET /trace`.
+    pub span_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +78,7 @@ impl Default for ServerConfig {
             max_jobs: 8,
             cache_dir: Some(std::path::PathBuf::from("results/cache")),
             cache_entries: 64,
+            span_capacity: 4096,
         }
     }
 }
@@ -135,6 +139,10 @@ impl Flight {
 struct QueuedConn {
     stream: TcpStream,
     accepted: Instant,
+    /// The span-trace request ID allocated at accept.
+    request_id: u64,
+    /// When the connection entered the queue, on the span clock.
+    queued_us: u64,
 }
 
 /// State shared by the acceptor, the workers, and every handle.
@@ -144,6 +152,7 @@ struct Shared {
     max_jobs: usize,
     cache: ResultCache,
     metrics: Arc<Metrics>,
+    spans: ServeSpans,
     queue: Mutex<VecDeque<QueuedConn>>,
     queue_cv: Condvar,
     queue_capacity: usize,
@@ -181,6 +190,7 @@ impl Server {
             max_jobs: config.max_jobs,
             cache,
             metrics: Arc::new(Metrics::default()),
+            spans: ServeSpans::new(config.span_capacity),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             queue_capacity: config.queue_capacity,
@@ -262,6 +272,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        let accept_start_us = shared.spans.now_us();
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.queue_capacity {
             drop(queue);
@@ -269,9 +280,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             respond_without_reading(stream, 429, "admission queue is full, retry later");
             continue;
         }
-        queue.push_back(QueuedConn { stream, accepted: Instant::now() });
+        let request_id = shared.spans.begin_request();
+        let queued_us = shared.spans.now_us();
+        queue.push_back(QueuedConn { stream, accepted: Instant::now(), request_id, queued_us });
         shared.metrics.queue_push();
         drop(queue);
+        shared.spans.record_at("serve.accept", request_id, 0, accept_start_us, queued_us);
         shared.queue_cv.notify_one();
     }
 }
@@ -324,11 +338,21 @@ fn error_body(status: u16, message: &str) -> String {
     Json::Obj(obj).render()
 }
 
-/// One response, with metrics accounting by status.
+/// Per-request context threaded from accept to response: the wall-clock
+/// accept time (latency metric, deadline base) and the span-trace request
+/// ID allocated by the acceptor.
+#[derive(Clone, Copy)]
+struct ReqCtx {
+    accepted: Instant,
+    request_id: u64,
+}
+
+/// One response, with metrics accounting by status and spans for the
+/// serialize and write stages.
 fn respond(
     shared: &Shared,
     stream: &mut TcpStream,
-    accepted: Instant,
+    ctx: ReqCtx,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
@@ -343,30 +367,38 @@ fn respond(
         504 => shared.metrics.responses_timeout.inc(),
         _ => shared.metrics.responses_error.inc(),
     }
-    let _ = http::write_response(stream, status, content_type, extra_headers, body);
-    let micros = u64::try_from(accepted.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let serialize_start_us = shared.spans.now_us();
+    let bytes = http::render_response(status, content_type, extra_headers, body);
+    let write_start_us = shared.spans.now_us();
+    shared.spans.record_at(
+        "serve.serialize",
+        ctx.request_id,
+        0,
+        serialize_start_us,
+        write_start_us,
+    );
+    use std::io::Write as _;
+    let _ = stream.write_all(&bytes).and_then(|()| stream.flush());
+    shared.spans.record_at("serve.write", ctx.request_id, 0, write_start_us, shared.spans.now_us());
+    let micros = u64::try_from(ctx.accepted.elapsed().as_micros()).unwrap_or(u64::MAX);
     shared.metrics.record_latency(micros);
 }
 
-fn respond_error(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    accepted: Instant,
-    status: u16,
-    message: &str,
-) {
+fn respond_error(shared: &Shared, stream: &mut TcpStream, ctx: ReqCtx, status: u16, message: &str) {
     let body = error_body(status, message);
-    respond(shared, stream, accepted, status, "application/json", &[], body.as_bytes());
+    respond(shared, stream, ctx, status, "application/json", &[], body.as_bytes());
 }
 
 fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
-    let QueuedConn { mut stream, accepted } = conn;
+    let QueuedConn { mut stream, accepted, request_id, queued_us } = conn;
+    let ctx = ReqCtx { accepted, request_id };
+    shared.spans.record_at("serve.queue_wait", request_id, 0, queued_us, shared.spans.now_us());
     let deadline = accepted + shared.request_timeout;
     let now = Instant::now();
     if now >= deadline {
         // Spent its whole budget in the queue.
         shared.metrics.requests.inc();
-        respond_error(shared, &mut stream, accepted, 504, "request timed out in queue");
+        respond_error(shared, &mut stream, ctx, 504, "request timed out in queue");
         return;
     }
     // The socket read budget is the smaller of the request deadline and a
@@ -375,40 +407,67 @@ fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
     let _ = stream.set_read_timeout(Some(io_budget));
     let _ = stream.set_write_timeout(Some(io_budget));
 
-    let request = match http::read_request(&mut stream) {
+    let parse_start_us = shared.spans.now_us();
+    let parsed = http::read_request(&mut stream);
+    shared.spans.record_at("serve.parse", request_id, 0, parse_start_us, shared.spans.now_us());
+    let request = match parsed {
         Ok(request) => request,
         // Nothing useful (or nobody) to answer: closed early or dead socket.
         Err(HttpError::Closed | HttpError::Io(_)) => return,
         Err(err @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
             shared.metrics.requests.inc();
-            respond_error(shared, &mut stream, accepted, 400, &err.to_string());
+            respond_error(shared, &mut stream, ctx, 400, &err.to_string());
             return;
         }
     };
     shared.metrics.requests.inc();
 
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/run") => handle_run(shared, &mut stream, accepted, deadline, &request),
+        ("POST", "/run") => handle_run(shared, &mut stream, ctx, deadline, &request),
         ("GET", "/metrics") => {
-            let body = shared.metrics.to_registry().to_json();
-            respond(shared, &mut stream, accepted, 200, "application/json", &[], body.as_bytes());
+            let body = shared
+                .metrics
+                .to_prometheus(shared.cache.evictions(), &shared.spans.stage_histograms());
+            let ct = "text/plain; version=0.0.4";
+            respond(shared, &mut stream, ctx, 200, ct, &[], body.as_bytes());
+        }
+        ("GET", "/metrics.json") => {
+            let body = registry_body(shared);
+            respond(shared, &mut stream, ctx, 200, "application/json", &[], body.as_bytes());
+        }
+        ("GET", "/trace") => {
+            let body = shared.spans.to_jsonl();
+            respond(shared, &mut stream, ctx, 200, "application/x-ndjson", &[], body.as_bytes());
         }
         ("GET", "/healthz") => {
-            respond(shared, &mut stream, accepted, 200, "text/plain", &[], b"ok\n");
+            respond(shared, &mut stream, ctx, 200, "text/plain", &[], b"ok\n");
         }
         ("GET", "/experiments") => {
             let body = experiments_body();
-            respond(shared, &mut stream, accepted, 200, "application/json", &[], body.as_bytes());
+            respond(shared, &mut stream, ctx, 200, "application/json", &[], body.as_bytes());
         }
         ("POST", "/shutdown") => {
-            respond(shared, &mut stream, accepted, 200, "text/plain", &[], b"shutting down\n");
+            respond(shared, &mut stream, ctx, 200, "text/plain", &[], b"shutting down\n");
             initiate_shutdown(shared);
         }
-        (_, "/run" | "/metrics" | "/healthz" | "/experiments" | "/shutdown") => {
-            respond_error(shared, &mut stream, accepted, 405, "method not allowed");
+        (
+            _,
+            "/run" | "/metrics" | "/metrics.json" | "/trace" | "/healthz" | "/experiments"
+            | "/shutdown",
+        ) => {
+            respond_error(shared, &mut stream, ctx, 405, "method not allowed");
         }
-        _ => respond_error(shared, &mut stream, accepted, 404, "no such endpoint"),
+        _ => respond_error(shared, &mut stream, ctx, 404, "no such endpoint"),
     }
+}
+
+/// `GET /metrics.json`: the legacy registry snapshot — service counters
+/// plus the result cache's eviction count, rendered as deterministic
+/// `hbc-probe` JSON.
+fn registry_body(shared: &Shared) -> String {
+    let mut reg = shared.metrics.to_registry();
+    reg.counter("serve.cache.evictions").set(shared.cache.evictions());
+    reg.to_json()
 }
 
 /// `GET /experiments`: what the service can run.
@@ -426,21 +485,21 @@ fn experiments_body() -> String {
 fn handle_run(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
-    accepted: Instant,
+    ctx: ReqCtx,
     deadline: Instant,
     request: &Request,
 ) {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
-            respond_error(shared, stream, accepted, 400, "request body is not UTF-8");
+            respond_error(shared, stream, ctx, 400, "request body is not UTF-8");
             return;
         }
     };
     let mut run = match RunRequest::from_json_text(text) {
         Ok(run) => run,
         Err(err) => {
-            respond_error(shared, stream, accepted, 400, &err.to_string());
+            respond_error(shared, stream, ctx, 400, &err.to_string());
             return;
         }
     };
@@ -452,14 +511,18 @@ fn handle_run(
     let hash = run.spec_hash();
     let canonical = run.canonical();
 
-    if let Some((body, tier)) = shared.cache.get(&hash, &canonical) {
+    let lookup_start_us = shared.spans.now_us();
+    let cached = shared.cache.get(&hash, &canonical);
+    let lookup_end_us = shared.spans.now_us();
+    shared.spans.record_at("serve.cache_lookup", ctx.request_id, 0, lookup_start_us, lookup_end_us);
+    if let Some((body, tier)) = cached {
         let (label, counter) = match tier {
             Tier::Memory => ("hit-memory", &shared.metrics.cache_hits_memory),
             Tier::Disk => ("hit-disk", &shared.metrics.cache_hits_disk),
         };
         counter.inc();
         let headers = [("X-Cache", label), ("X-Spec-Hash", hash.as_str())];
-        respond(shared, stream, accepted, 200, "text/plain", &headers, body.as_bytes());
+        respond(shared, stream, ctx, 200, "text/plain", &headers, body.as_bytes());
         return;
     }
 
@@ -478,25 +541,35 @@ fn handle_run(
     };
     if leader {
         shared.metrics.cache_misses.inc();
-        spawn_runner(shared, run, hash.clone(), canonical, Arc::clone(&flight));
+        spawn_runner(shared, run, hash.clone(), canonical, ctx.request_id, Arc::clone(&flight));
     } else {
         shared.metrics.coalesced.inc();
     }
 
     let cache_label = if leader { "miss" } else { "coalesced" };
-    match flight.wait(deadline) {
+    let wait_start_us = shared.spans.now_us();
+    let outcome = flight.wait(deadline);
+    let wait_end_us = shared.spans.now_us();
+    shared.spans.record_at(
+        "serve.single_flight_wait",
+        ctx.request_id,
+        0,
+        wait_start_us,
+        wait_end_us,
+    );
+    match outcome {
         FlightWait::Done(body) => {
             let headers = [("X-Cache", cache_label), ("X-Spec-Hash", hash.as_str())];
-            respond(shared, stream, accepted, 200, "text/plain", &headers, body.as_bytes());
+            respond(shared, stream, ctx, 200, "text/plain", &headers, body.as_bytes());
         }
         FlightWait::Failed(message) => {
-            respond_error(shared, stream, accepted, 500, &message);
+            respond_error(shared, stream, ctx, 500, &message);
         }
         FlightWait::TimedOut => {
             respond_error(
                 shared,
                 stream,
-                accepted,
+                ctx,
                 504,
                 "simulation exceeded the request timeout; it continues into the result cache \
                  — retry to fetch it",
@@ -513,6 +586,7 @@ fn spawn_runner(
     run: RunRequest,
     hash: String,
     canonical: String,
+    request_id: u64,
     flight: Arc<Flight>,
 ) {
     let runner_shared = Arc::clone(shared);
@@ -521,7 +595,18 @@ fn spawn_runner(
     let spawned =
         std::thread::Builder::new().name("hbc-serve-runner".to_string()).spawn(move || {
             runner_shared.metrics.exec_runs.inc();
+            let sim_start_us = runner_shared.spans.now_us();
             let result = catch_unwind(AssertUnwindSafe(|| run.execute()));
+            // The simulate span carries the leader's request ID; coalesced
+            // followers share this one simulation, so their traces show a
+            // single-flight wait instead.
+            runner_shared.spans.record_at(
+                "serve.simulate",
+                request_id,
+                0,
+                sim_start_us,
+                runner_shared.spans.now_us(),
+            );
             match result {
                 Ok(body) => {
                     if let Err(e) = runner_shared.cache.put(&hash, &canonical, &body) {

@@ -1,0 +1,139 @@
+//! Request-scoped span tracing for the service.
+//!
+//! Every accepted connection gets a request ID from the shared
+//! [`hbc_probe::SpanLog`], and each lifecycle stage — accept, queue wait,
+//! parse, cache lookup, single-flight wait, simulate, serialize, write —
+//! records one span with monotonic microsecond timestamps measured from
+//! the server's start. The retained window is exported verbatim at
+//! `GET /trace` as JSON lines, and a per-stage duration histogram feeds
+//! the `serve_stage_duration_microseconds` summary in `GET /metrics`.
+//!
+//! Unlike the simulator's feature-gated `hbc_core::spans`, serve spans are
+//! always on: the service lives in wall-clock territory anyway, and one
+//! mutex push per stage is noise next to a socket write. The clock stays
+//! out of `hbc-probe` (which is simulation-deterministic by contract);
+//! this module owns the `Instant` origin.
+//!
+//! # Example
+//!
+//! ```
+//! use hbc_serve::spans::ServeSpans;
+//!
+//! let spans = ServeSpans::new(64);
+//! let request = spans.begin_request();
+//! let t0 = spans.now_us();
+//! // ... do the stage's work ...
+//! spans.record_at("serve.parse", request, 0, t0, spans.now_us());
+//! assert!(spans.to_jsonl().contains("\"stage\":\"serve.parse\""));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hbc_probe::{Histogram, SpanLog, SpanRecord};
+
+use crate::lock;
+
+/// The server's span sink: a bounded ring of recent [`SpanRecord`]s plus
+/// per-stage duration histograms, stamped from one process-local
+/// monotonic origin. Shared across the acceptor, workers, and runner
+/// threads; all methods take `&self`.
+#[derive(Debug)]
+pub struct ServeSpans {
+    log: SpanLog,
+    origin: Instant,
+    stages: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl ServeSpans {
+    /// A sink retaining the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        ServeSpans {
+            log: SpanLog::new(capacity),
+            origin: Instant::now(),
+            stages: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the server started (monotonic).
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Allocates a fresh request ID (never 0).
+    pub fn begin_request(&self) -> u64 {
+        self.log.next_request_id()
+    }
+
+    /// Records one completed span of `request` under `stage`, spanning
+    /// `[start_us, end_us]` as measured by [`now_us`](Self::now_us), and
+    /// folds its duration into the stage's histogram. `parent` is the
+    /// enclosing span's ID (0 for a root span). Returns the new span's ID
+    /// so callers can nest children under it.
+    pub fn record_at(
+        &self,
+        stage: &'static str,
+        request: u64,
+        parent: u64,
+        start_us: u64,
+        end_us: u64,
+    ) -> u64 {
+        let span = self.log.next_span_id();
+        let dur_us = end_us.saturating_sub(start_us);
+        self.log.record(SpanRecord { request, span, parent, stage, start_us, dur_us });
+        lock(&self.stages).entry(stage).or_default().record(dur_us);
+        span
+    }
+
+    /// The retained span window as JSON lines, oldest first (the
+    /// `GET /trace` body).
+    pub fn to_jsonl(&self) -> String {
+        self.log.to_jsonl()
+    }
+
+    /// A snapshot of the per-stage duration histograms.
+    pub fn stage_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        lock(&self.stages).clone()
+    }
+
+    /// The underlying log (tests and drop accounting).
+    pub fn log(&self) -> &SpanLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_log_and_stage_histograms() {
+        let spans = ServeSpans::new(16);
+        let request = spans.begin_request();
+        assert!(request > 0);
+        let parent = spans.record_at("serve.accept", request, 0, 5, 10);
+        let child = spans.record_at("serve.parse", request, parent, 10, 250);
+        assert_ne!(parent, child);
+
+        let records = spans.log().snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].parent, parent);
+        assert_eq!(records[1].dur_us, 240);
+
+        let stages = spans.stage_histograms();
+        assert_eq!(stages["serve.parse"].count(), 1);
+        assert_eq!(stages["serve.parse"].max(), 240);
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_backwards_ranges_saturate() {
+        let spans = ServeSpans::new(4);
+        let a = spans.now_us();
+        let b = spans.now_us();
+        assert!(b >= a);
+        // A stale start timestamp must not underflow the duration.
+        spans.record_at("serve.write", 1, 0, 100, 40);
+        assert_eq!(spans.log().snapshot()[0].dur_us, 0);
+    }
+}

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use hbc_core::experiments;
 use hbc_serve::client;
 use hbc_serve::json::Json;
+use hbc_serve::metrics::parse_prometheus;
 use hbc_serve::server::{Server, ServerConfig};
 use hbc_serve::spec::{ExperimentId, Preset, RunRequest};
 
@@ -33,6 +34,7 @@ fn test_config() -> ServerConfig {
         max_jobs: 2,
         cache_dir: None,
         cache_entries: 16,
+        span_capacity: 1024,
     }
 }
 
@@ -46,15 +48,14 @@ fn shut_down(server: Server) {
     server.join();
 }
 
-/// Cache-hit counter across both tiers, read from `GET /metrics`.
+/// Cache-hit counter across both tiers, read from the Prometheus text at
+/// `GET /metrics`.
 fn metrics_cache_hits(server: &Server) -> u64 {
     let resp = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics", b"")
         .expect("metrics request completes");
     assert_eq!(resp.status, 200);
-    let v = Json::parse(&resp.text()).expect("metrics JSON parses");
-    let counters = v.as_obj().expect("object")["counters"].as_obj().expect("counters");
-    counters["serve.cache.hits.memory"].as_u64().expect("counter")
-        + counters["serve.cache.hits.disk"].as_u64().expect("counter")
+    let samples = parse_prometheus(&resp.text()).expect("metrics body is valid Prometheus text");
+    samples.iter().filter(|s| s.name == "serve_cache_hits_total").map(|s| s.value as u64).sum()
 }
 
 #[test]
@@ -249,6 +250,11 @@ fn routing_distinguishes_404_and_405() {
     let wrong_method = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/run", b"")
         .expect("request completes");
     assert_eq!(wrong_method.status, 405);
+    for path in ["/trace", "/metrics.json", "/metrics"] {
+        let resp = client::request(server.addr(), CLIENT_TIMEOUT, "POST", path, b"")
+            .expect("request completes");
+        assert_eq!(resp.status, 405, "POST {path} must be rejected, not routed");
+    }
 
     let health = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/healthz", b"")
         .expect("request completes");
@@ -259,6 +265,95 @@ fn routing_distinguishes_404_and_405() {
     let v = Json::parse(&listing.text()).expect("listing parses");
     let experiments = &v.as_obj().expect("object")["experiments"];
     assert!(matches!(experiments, Json::Arr(items) if items.len() == 10));
+    shut_down(server);
+}
+
+#[test]
+fn metrics_is_valid_prometheus_and_metrics_json_keeps_the_registry() {
+    let server = Server::bind(test_config()).expect("bind");
+    let spec = r#"{"experiment":"table2","preset":"fast","seed":21}"#;
+    assert_eq!(post_run(&server, spec).status, 200);
+    assert_eq!(post_run(&server, spec).status, 200); // a cache hit
+
+    let text = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics", b"")
+        .expect("metrics request completes");
+    assert_eq!(text.status, 200);
+    assert!(text.header("content-type").is_some_and(|ct| ct.starts_with("text/plain")));
+    let samples = parse_prometheus(&text.text()).expect("whole body parses as Prometheus text");
+    let value = |name: &str| {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).expect("sample present")
+    };
+    assert!(value("serve_http_requests_total") >= 2.0);
+    assert!(value("serve_cache_misses_total") >= 1.0);
+    assert_eq!(value("serve_cache_evictions_total"), 0.0);
+    assert!(value("serve_queue_depth") >= 0.0);
+    // Latency and stage summaries carry ordered quantiles and counts.
+    let latency: Vec<_> =
+        samples.iter().filter(|s| s.name == "serve_latency_microseconds").collect();
+    assert_eq!(latency.len(), 3);
+    assert!(latency[0].value <= latency[1].value && latency[1].value <= latency[2].value);
+    assert!(value("serve_latency_microseconds_count") >= 2.0);
+    let simulate = samples
+        .iter()
+        .find(|s| {
+            s.name == "serve_stage_duration_microseconds_count"
+                && s.label("stage") == Some("serve.simulate")
+        })
+        .expect("simulate stage summary present");
+    assert_eq!(simulate.value, 1.0, "one simulation ran; the hit recorded no simulate span");
+
+    // The legacy registry JSON moved to /metrics.json, now carrying the
+    // eviction counter next to the original fifteen.
+    let legacy = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics.json", b"")
+        .expect("metrics.json request completes");
+    assert_eq!(legacy.status, 200);
+    let v = Json::parse(&legacy.text()).expect("legacy metrics JSON parses");
+    let counters = v.as_obj().expect("object")["counters"].as_obj().expect("counters");
+    assert_eq!(counters.len(), 16);
+    assert_eq!(counters["serve.cache.evictions"].as_u64(), Some(0));
+    assert!(counters["serve.http.requests"].as_u64().unwrap() >= 2);
+    shut_down(server);
+}
+
+#[test]
+fn trace_replays_the_request_lifecycle_as_jsonl() {
+    let server = Server::bind(test_config()).expect("bind");
+    let spec = r#"{"experiment":"table2","preset":"fast","seed":23}"#;
+    assert_eq!(post_run(&server, spec).status, 200); // miss: simulates
+    assert_eq!(post_run(&server, spec).status, 200); // memory hit
+
+    let resp = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/trace", b"")
+        .expect("trace request completes");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    let text = resp.text();
+    let mut stages = std::collections::BTreeSet::new();
+    let mut requests = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let record = Json::parse(line).expect("every trace line is a JSON object");
+        let obj = record.as_obj().expect("object");
+        let stage = obj["stage"].as_str().expect("stage").to_string();
+        assert!(hbc_probe::is_registered_stage(&stage), "unregistered stage {stage:?}");
+        assert!(obj["span"].as_u64().expect("span id") > 0);
+        requests.insert(obj["request"].as_u64().expect("request id"));
+        stages.insert(stage);
+    }
+    // Both /run requests (each with accept/queue/parse/lookup/serialize/
+    // write), the miss's simulate + single-flight wait — but /trace's own
+    // request hasn't finished when the body is rendered.
+    for stage in [
+        "serve.accept",
+        "serve.queue_wait",
+        "serve.parse",
+        "serve.cache_lookup",
+        "serve.single_flight_wait",
+        "serve.simulate",
+        "serve.serialize",
+        "serve.write",
+    ] {
+        assert!(stages.contains(stage), "missing {stage} in trace: {stages:?}");
+    }
+    assert!(requests.len() >= 2, "the two /run requests have distinct request IDs");
     shut_down(server);
 }
 
