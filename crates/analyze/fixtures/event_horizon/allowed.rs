@@ -1,0 +1,30 @@
+// Fixture: timed components that answer `next_event` (or carry an audited
+// allow) pass — the event horizon can see every scheduled state change.
+
+pub struct PrefetchQueue {
+    ready_at: u64,
+    pending: Vec<u64>,
+}
+
+impl PrefetchQueue {
+    pub fn tick(&mut self, now: u64) {
+        if now >= self.ready_at {
+            self.pending.pop();
+        }
+    }
+
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        (!self.pending.is_empty() && self.ready_at > now).then_some(self.ready_at)
+    }
+}
+
+pub struct ScratchCounter {
+    ticks: u64,
+}
+
+impl ScratchCounter {
+    // hbc-allow: event-horizon (pure statistics; never schedules work)
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: a timed component invisible to the event horizon must fire.
+// `tick` advances state every cycle, but without `next_event` the skip
+// engine cannot know when the next state change lands and may jump past it.
+
+pub struct PrefetchQueue {
+    ready_at: u64,
+    pending: Vec<u64>,
+}
+
+impl PrefetchQueue {
+    pub fn tick(&mut self, now: u64) {
+        if now >= self.ready_at {
+            self.pending.pop();
+        }
+    }
+}
+
+pub struct WriteCombiner {
+    drain_at: u64,
+}
+
+impl WriteCombiner {
+    pub fn begin_cycle(&mut self, now: u64) {
+        if now == self.drain_at {
+            self.drain_at = now + 4;
+        }
+    }
+
+    pub fn end_cycle(&mut self) {}
+}

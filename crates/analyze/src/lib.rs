@@ -52,7 +52,7 @@ pub struct RuleInfo {
     pub explain: &'static str,
 }
 
-/// The ten rules, in the order `run_all` executes them. This table is the
+/// The eleven rules, in the order `run_all` executes them. This table is the
 /// single source of truth: the crate docs, the CLI's `explain`, the JSON
 /// schema's `rules` array, and the README table all derive from it.
 pub const RULES: &[RuleInfo] = &[
@@ -152,6 +152,19 @@ pub const RULES: &[RuleInfo] = &[
                   audit those reads with hbc-allow.",
     },
     RuleInfo {
+        name: "event-horizon",
+        summary: "sim types with tick/cycle methods must answer next_event queries",
+        explain: "The simulation loop fast-forwards through stall spans by taking the \
+                  minimum of every timed component's `next_event(now)` and jumping there. \
+                  The jump is only sound if the query surface is complete: a type in a \
+                  simulation crate with a `tick`/`step`/`begin_cycle`/`end_cycle` method \
+                  but no `next_event` is invisible to the horizon, and the engine may skip \
+                  straight past its next state change. Implement \
+                  `fn next_event(&self, now: u64) -> Option<u64>` — untimed components \
+                  return None, documenting the decision — or audit a component the loop \
+                  drains inline with hbc-allow.",
+    },
+    RuleInfo {
         name: "cast-truncation",
         summary: "no narrowing `as` casts on cycle/address/stat values in sim crates",
         explain: "A cycle count, address, or statistic squeezed through `as u32` (or \
@@ -230,6 +243,7 @@ pub fn run_all(
     findings.extend(rules::serve_io_panic::check(&model));
     findings.extend(rules::lock_discipline::check(&model));
     findings.extend(rules::probe_coverage::check(&model));
+    findings.extend(rules::event_horizon::check(&model));
     findings.extend(rules::cast_truncation::check(&model));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     findings
@@ -299,7 +313,7 @@ mod tests {
 
     #[test]
     fn rules_table_is_complete_and_consistent() {
-        assert_eq!(RULES.len(), 10);
+        assert_eq!(RULES.len(), 11);
         // Names are unique, kebab-case, and resolvable.
         for (i, rule) in RULES.iter().enumerate() {
             assert!(rule.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'));

@@ -1,0 +1,137 @@
+//! Rule `event-horizon`: every timed component exposes its schedule.
+//!
+//! The simulation loop fast-forwards through stall spans by asking every
+//! timed component for its next scheduled event (`next_event(now) ->
+//! Option<Cycle>`) and jumping to the minimum. The contract only holds if
+//! the query surface is complete: a type that participates in the
+//! per-cycle protocol (a `tick`/`step`/`begin_cycle`/`end_cycle` method)
+//! but answers no `next_event` query is invisible to the horizon — the
+//! engine could skip straight past its state change and silently corrupt
+//! the simulation.
+//!
+//! The rule groups inherent methods by `(crate, impl target)` across the
+//! simulation crates: any type with a timed method must also define
+//! `next_event` (untimed components return `None`, documenting the
+//! decision) or carry an audited `hbc-allow: event-horizon`.
+
+use crate::model::Model;
+use crate::{Finding, SIM_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that mark a type as participating in the cycle protocol.
+const TIMED_METHODS: &[&str] = &["tick", "step", "begin_cycle", "end_cycle"];
+
+/// Timed-method sites for one `(crate, impl target)`: file index, line,
+/// and the method name that made the type timed.
+type TimedSites<'m> = BTreeMap<(&'m str, &'m str), Vec<(usize, usize, &'m str)>>;
+
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
+    // (crate, impl target) → answers next_event; and every timed-method
+    // site per type. Impl blocks may be split across a crate's files, so
+    // grouping is by crate, not by file.
+    let mut answers: BTreeSet<(&str, &str)> = BTreeSet::new();
+    let mut timed: TimedSites<'_> = BTreeMap::new();
+    for (fi, src) in model.sources.iter().enumerate() {
+        if !SIM_CRATES.contains(&src.crate_name.as_str()) {
+            continue;
+        }
+        for f in &model.files[fi].functions {
+            let Some(target) = &f.impl_target else { continue };
+            if model.is_test_line(fi, f.line) {
+                continue;
+            }
+            let key = (src.crate_name.as_str(), target.as_str());
+            if f.name == "next_event" {
+                answers.insert(key);
+            } else if TIMED_METHODS.contains(&f.name.as_str()) {
+                timed.entry(key).or_default().push((fi, f.line, f.name.as_str()));
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for ((_, target), sites) in timed.iter().filter(|(key, _)| !answers.contains(*key)) {
+        for &(fi, line, method) in sites {
+            if model.allowed(fi, line, "event-horizon") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "event-horizon",
+                path: model.sources[fi].path.clone(),
+                line,
+                message: format!(
+                    "`{target}` has a timed `{method}` method but no `next_event` — the \
+                     event-horizon engine cannot see its schedule and may skip past a state \
+                     change; implement `fn next_event(&self, now: u64) -> Option<u64>` \
+                     (return None for untimed components) or audit with \
+                     `hbc-allow: event-horizon`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run_in(crate_name: &str, text: &str) -> Vec<Finding> {
+        let files = [SourceFile::parse(PathBuf::from("f.rs"), crate_name, text, false)];
+        check(&Model::build(&files))
+    }
+
+    #[test]
+    fn timed_type_without_next_event_fires() {
+        let f = run_in(
+            "hbc-mem",
+            "impl RowBuffer {\n    pub fn begin_cycle(&mut self, now: u64) {}\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("RowBuffer"));
+        assert!(f[0].message.contains("begin_cycle"));
+    }
+
+    #[test]
+    fn next_event_in_a_sibling_impl_block_satisfies() {
+        let ok = "impl RowBuffer {\n    pub fn tick(&mut self) {}\n}\n\
+                  impl RowBuffer {\n    pub fn next_event(&self, now: u64) -> Option<u64> \
+                  { None }\n}\n";
+        assert!(run_in("hbc-mem", ok).is_empty());
+    }
+
+    #[test]
+    fn untimed_types_and_free_functions_are_exempt() {
+        let ok = "impl Config {\n    pub fn validate(&self) {}\n}\n\
+                  pub fn step(x: u64) -> u64 { x }\n";
+        assert!(run_in("hbc-mem", ok).is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_tests_and_allows_are_exempt() {
+        let timed = "impl Driver {\n    pub fn tick(&mut self) {}\n}\n";
+        assert!(run_in("hbc-bench", timed).is_empty());
+        assert!(run_in(
+            "hbc-cpu",
+            "#[cfg(test)]\nmod t {\n    impl Fake {\n        fn tick(&mut self) {}\n    }\n}\n"
+        )
+        .is_empty());
+        assert!(run_in(
+            "hbc-cpu",
+            "impl Fake {\n    // hbc-allow: event-horizon (drained inline by the owner)\n    \
+             fn tick(&mut self) {}\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join("event_horizon");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run_in("hbc-mem", &bad).is_empty(), "violation.rs should fire");
+        assert!(run_in("hbc-mem", &ok).is_empty(), "allowed.rs should be clean");
+    }
+}

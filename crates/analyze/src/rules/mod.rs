@@ -1,9 +1,10 @@
-//! The ten analysis rules. The authoritative name/summary/explanation
+//! The eleven analysis rules. The authoritative name/summary/explanation
 //! table is [`crate::RULES`]; each module here implements one entry.
 
 pub mod cast_truncation;
 pub mod config_validate;
 pub mod determinism;
+pub mod event_horizon;
 pub mod exec_merge;
 pub mod lock_discipline;
 pub mod panic_path;

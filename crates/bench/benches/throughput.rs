@@ -150,6 +150,29 @@ fn main() {
         });
     }
 
+    // Event-horizon skipping: the same miss-heavy DRAM-cache run under the
+    // reference tick loop and the fast-forward engine. The ratio is the
+    // engine's end-to-end speedup on stall-bound simulations; `skip_rate`
+    // is the fraction of simulated cycles it fast-forwarded.
+    let dram_run = |skip: bool| {
+        SimBuilder::new(Benchmark::Compress)
+            .dram_cache(8)
+            .line_buffer(true)
+            .instructions(CORE_INSTS)
+            .warmup(0)
+            .cache_warm(100_000)
+            .event_horizon(skip)
+            .run()
+    };
+    rate(&mut metrics, "full_core_dram8_tick (inst/s)", CORE_INSTS, 3, || {
+        black_box(dram_run(false).ipc());
+    });
+    rate(&mut metrics, "full_core_dram8_skip (inst/s)", CORE_INSTS, 3, || {
+        black_box(dram_run(true).ipc());
+    });
+    let skip_rate_measured = dram_run(true).skip_rate();
+    println!("{:<44} {:>12.4}", "skip_rate (dram8)", skip_rate_measured);
+
     let mut json =
         format!("{{\"schema\":1,\"probe_feature\":{},\"metrics\":[", cfg!(feature = "probe"));
     for (i, m) in metrics.iter().enumerate() {
@@ -171,12 +194,24 @@ fn main() {
         println!("{:<44} {:>12.2} x", "warm_fastpath_speedup", fast / slow.max(1e-9));
         let _ = write!(json, "\"warm_fastpath_speedup\":{:.3},", fast / slow.max(1e-9));
     }
+    let _ = write!(json, "\"skip_rate\":{skip_rate_measured:.4},");
+    if let (Some(tick), Some(skip)) =
+        (rate_of("full_core_dram8_tick"), rate_of("full_core_dram8_skip"))
+    {
+        println!("{:<44} {:>12.2} x", "skip_speedup", skip / tick.max(1e-9));
+        let _ = write!(json, "\"skip_speedup\":{:.3},", skip / tick.max(1e-9));
+    }
     jobs_sweep(&mut json);
     json.push('}');
 
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Err(e) = std::fs::write("results/BENCH_throughput.json", &json) {
-            eprintln!("note: could not write results/BENCH_throughput.json: {e}");
+    // Anchor at the workspace root: cargo runs benches with the package
+    // directory as cwd, but the committed baseline (and the CI artifact)
+    // live in the top-level `results/`.
+    let out_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let out = out_dir.join("BENCH_throughput.json");
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("note: could not write {}: {e}", out.display());
         }
     }
     if print_json {

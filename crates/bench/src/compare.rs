@@ -7,8 +7,11 @@
 //! configurable per-metric thresholds:
 //!
 //! * `BENCH_throughput.json` → `throughput.<metric>.best_units_per_sec`
-//!   (higher is better), plus `throughput.warm_fastpath_speedup` and
-//!   `throughput.jobs_sweep.speedup` when present;
+//!   (higher is better), plus — when present — the derived gauges
+//!   `throughput.warm_fastpath_speedup`, `throughput.skip_rate`,
+//!   `throughput.skip_speedup`, `throughput.jobs_sweep.speedup` (all
+//!   higher-is-better) and `throughput.jobs_sweep.serial_wall_s`
+//!   (lower is better);
 //! * `BENCH_serve.json` → per concurrency level
 //!   `serve.c<N>.throughput_rps` (higher is better) and
 //!   `serve.c<N>.latency.p{50,95,99}_ms` (lower is better).
@@ -321,22 +324,27 @@ fn parse_throughput(
             Metric { value: best, direction: Direction::HigherIsBetter },
         );
     }
-    if let Some(speedup) = obj.get("warm_fastpath_speedup").and_then(Json::as_f64) {
-        metrics.insert(
-            "throughput.warm_fastpath_speedup".to_string(),
-            Metric { value: speedup, direction: Direction::HigherIsBetter },
-        );
+    for gauge in ["warm_fastpath_speedup", "skip_rate", "skip_speedup"] {
+        if let Some(value) = obj.get(gauge).and_then(Json::as_f64) {
+            metrics.insert(
+                format!("throughput.{gauge}"),
+                Metric { value, direction: Direction::HigherIsBetter },
+            );
+        }
     }
-    if let Some(speedup) = obj
-        .get("jobs_sweep")
-        .and_then(Json::as_obj)
-        .and_then(|s| s.get("speedup"))
-        .and_then(Json::as_f64)
-    {
-        metrics.insert(
-            "throughput.jobs_sweep.speedup".to_string(),
-            Metric { value: speedup, direction: Direction::HigherIsBetter },
-        );
+    if let Some(sweep) = obj.get("jobs_sweep").and_then(Json::as_obj) {
+        if let Some(speedup) = sweep.get("speedup").and_then(Json::as_f64) {
+            metrics.insert(
+                "throughput.jobs_sweep.speedup".to_string(),
+                Metric { value: speedup, direction: Direction::HigherIsBetter },
+            );
+        }
+        if let Some(wall) = sweep.get("serial_wall_s").and_then(Json::as_f64) {
+            metrics.insert(
+                "throughput.jobs_sweep.serial_wall_s".to_string(),
+                Metric { value: wall, direction: Direction::LowerIsBetter },
+            );
+        }
     }
     Ok(BenchReport { kind: "throughput", metrics })
 }
@@ -448,7 +456,9 @@ mod tests {
          "best_units_per_sec":16488713.0,"wall_s":0.31},
         {"name":"full_core (inst/s)","units_per_rep":60000,
          "best_units_per_sec":2454594.5,"wall_s":0.076}],
-        "jobs_sweep":{"figure":"fig6_fast","cells":36,"speedup":1.111}}"#;
+        "skip_rate":0.62,"skip_speedup":2.4,
+        "jobs_sweep":{"figure":"fig6_fast","cells":36,
+         "serial_wall_s":0.75,"speedup":1.111}}"#;
 
     const SERVE: &str = r#"{"schema":1,"bench":"hbc-serve load","config":{"requests":64},
         "levels":[{"cache":{"hit-memory":49},"concurrency":1,
@@ -506,6 +516,30 @@ mod tests {
             compare(&base, &faster, &Thresholds::new()).expect("same kind").regressions(),
             0
         );
+    }
+
+    #[test]
+    fn skip_and_wall_time_gauges_are_extracted() {
+        let r = report(THROUGHPUT);
+        assert_eq!(
+            r.metrics.get("throughput.skip_rate"),
+            Some(&Metric { value: 0.62, direction: Direction::HigherIsBetter })
+        );
+        assert_eq!(
+            r.metrics.get("throughput.skip_speedup"),
+            Some(&Metric { value: 2.4, direction: Direction::HigherIsBetter })
+        );
+        assert_eq!(
+            r.metrics.get("throughput.jobs_sweep.serial_wall_s"),
+            Some(&Metric { value: 0.75, direction: Direction::LowerIsBetter })
+        );
+        // A slower serial figure run regresses; a faster one never does.
+        let mut slower = r.clone();
+        slower.metrics.get_mut("throughput.jobs_sweep.serial_wall_s").unwrap().value = 1.5;
+        assert_eq!(compare(&r, &slower, &Thresholds::new()).expect("kind").regressions(), 1);
+        let mut faster = r.clone();
+        faster.metrics.get_mut("throughput.jobs_sweep.serial_wall_s").unwrap().value = 0.4;
+        assert_eq!(compare(&r, &faster, &Thresholds::new()).expect("kind").regressions(), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod misses;
 pub mod report;
 mod sim;
 pub mod spans;
+mod warm;
 
 pub use experiments::ExpParams;
 pub use hbc_probe::{

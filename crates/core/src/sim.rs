@@ -51,6 +51,7 @@ pub struct SimBuilder {
     cpu: CpuConfig,
     probes: bool,
     trace_window: u64,
+    event_horizon: bool,
 }
 
 impl SimBuilder {
@@ -75,6 +76,7 @@ impl SimBuilder {
             cpu: CpuConfig::paper(),
             probes: false,
             trace_window: 0,
+            event_horizon: true,
         }
     }
 
@@ -175,6 +177,16 @@ impl SimBuilder {
         self
     }
 
+    /// Enables or disables event-horizon cycle skipping (on by default).
+    /// Skipping fast-forwards through provably idle stall spans; every
+    /// exported statistic is bit-identical either way — disabling it only
+    /// forces the reference tick-by-tick loop (used by the equivalence
+    /// property tests).
+    pub fn event_horizon(mut self, enabled: bool) -> Self {
+        self.event_horizon = enabled;
+        self
+    }
+
     /// The memory configuration this builder will run.
     pub fn mem_config(&self) -> MemConfig {
         let mut cfg = match self.dram_hit {
@@ -201,23 +213,39 @@ impl SimBuilder {
     /// construct valid ones).
     pub fn run(&self) -> SimResult {
         let mut mem = MemSystem::new(self.mem_config()).expect("valid memory configuration");
-        let mut gen = match &self.spec_override {
-            Some(spec) => WorkloadGen::from_spec(spec.clone(), self.seed),
-            None => WorkloadGen::new(self.benchmark, self.seed),
-        };
         // Functional pre-warming: bring the hierarchy to the steady state a
         // trace as long as the paper's would reach, then measure. The warm
         // fast path advances the generator with full draw parity while
         // skipping instruction assembly, so the measured stream is the one
-        // `next_inst` alone would produce.
+        // `next_inst` alone would produce. Stock-benchmark warm streams are
+        // memoized per thread (`crate::warm`): every cell of a sweep shares
+        // the same stream, only the hierarchy it touches differs.
         let mut core = {
             let _span = crate::spans::enter("sim.warm_up");
-            for _ in 0..self.cache_warm {
-                if let Some(addr) = gen.next_warm() {
-                    mem.warm_touch(addr);
+            let gen = match &self.spec_override {
+                Some(spec) => {
+                    let mut gen = WorkloadGen::from_spec(spec.clone(), self.seed);
+                    for _ in 0..self.cache_warm {
+                        if let Some(addr) = gen.next_warm() {
+                            mem.warm_touch(addr);
+                        }
+                    }
+                    gen
                 }
-            }
+                None => crate::warm::with_warm_state(
+                    self.benchmark,
+                    self.seed,
+                    self.cache_warm,
+                    |gen, addrs| {
+                        for &addr in addrs {
+                            mem.warm_touch(addr);
+                        }
+                        gen.clone()
+                    },
+                ),
+            };
             let mut core = Core::new(self.cpu.clone(), mem, gen).expect("valid CPU configuration");
+            core.set_event_horizon(self.event_horizon);
             if self.trace_window > 0 {
                 core.enable_trace(self.trace_window as usize);
             }
@@ -237,7 +265,15 @@ impl SimBuilder {
             reg
         });
         let trace = core.trace_jsonl();
-        SimResult { benchmark: self.benchmark, run, mem: core.mem().stats().clone(), probes, trace }
+        SimResult {
+            benchmark: self.benchmark,
+            run,
+            mem: core.mem().stats().clone(),
+            probes,
+            trace,
+            skipped_cycles: core.skipped_cycles(),
+            sim_cycles: core.now(),
+        }
     }
 }
 
@@ -249,6 +285,13 @@ pub struct SimResult {
     mem: MemStats,
     probes: Option<ProbeRegistry>,
     trace: Option<String>,
+    /// Cycles fast-forwarded by the event-horizon engine over the whole run
+    /// (warm-up included). Diagnostic only: deliberately not part of
+    /// [`RunStats`] or the probe export, which stay bit-identical whether
+    /// skipping ran or not.
+    skipped_cycles: u64,
+    /// Total cycles simulated (warm-up included), skipped or ticked.
+    sim_cycles: u64,
 }
 
 impl SimResult {
@@ -282,6 +325,17 @@ impl SimResult {
     /// [`SimBuilder::trace_window`].
     pub fn trace_jsonl(&self) -> Option<&str> {
         self.trace.as_deref()
+    }
+
+    /// Cycles the event-horizon engine fast-forwarded instead of ticking.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Fraction of simulated cycles that were skipped rather than ticked
+    /// (zero when skipping is disabled or the run never stalled).
+    pub fn skip_rate(&self) -> f64 {
+        self.skipped_cycles as f64 / self.sim_cycles.max(1) as f64
     }
 
     /// Primary-cache load misses per measured instruction.
@@ -347,6 +401,18 @@ mod tests {
             assert_eq!(reg.get("cpu.stall.commit").map(|c| c > 0), Some(true));
             assert!(probed.trace_jsonl().is_some_and(|t| !t.is_empty()));
         }
+    }
+
+    #[test]
+    fn event_horizon_skipping_is_invisible() {
+        let ticked = quick(Benchmark::Gcc).dram_cache(7).event_horizon(false).run();
+        let skipped = quick(Benchmark::Gcc).dram_cache(7).run();
+        assert_eq!(ticked.run(), skipped.run(), "skipping must not change processor stats");
+        assert_eq!(ticked.mem(), skipped.mem(), "skipping must not change memory stats");
+        assert_eq!(ticked.skipped_cycles(), 0);
+        assert_eq!(ticked.sim_cycles, skipped.sim_cycles);
+        assert!(skipped.skipped_cycles() > 0, "a DRAM-cache run must skip stall spans");
+        assert!(skipped.skip_rate() > 0.0 && skipped.skip_rate() < 1.0);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Memoized functional cache warm-up.
+//!
+//! Every cell of a figure sweep warms its hierarchy with the same
+//! `(benchmark, seed, cache_warm)` stream — only the memory configuration
+//! differs — and generating that stream dominates the wall-clock of fast
+//! sweeps. This module computes the stream once per thread and replays the
+//! recorded addresses (plus a clone of the post-warm generator) into every
+//! subsequent cell with the same key.
+//!
+//! Correctness relies on two properties:
+//!
+//! * `WorkloadGen::next_warm` is deterministic in `(benchmark, seed)`, so a
+//!   clone of the post-warm generator is indistinguishable from one that
+//!   advanced itself;
+//! * `MemSystem::warm_touch` consumes only the address sequence, so
+//!   replaying the recorded addresses touches the hierarchy exactly as the
+//!   inline loop would.
+//!
+//! The memo is `thread_local`, never shared, and bounded (a small LRU), so
+//! parallel experiment execution stays deterministic: results depend only
+//! on each cell's key, never on which thread ran it or what ran before.
+
+use std::cell::RefCell;
+
+use hbc_workloads::{Benchmark, WorkloadGen};
+
+/// Distinct warm streams retained per thread. Figure sweeps iterate
+/// benchmark-major, so within one sweep a single entry is live at a time;
+/// a few extra slots keep interleaved sweeps (e.g. fig5 then fig6 in one
+/// process) warm too.
+const WARM_LRU_CAPACITY: usize = 4;
+
+struct WarmRecord {
+    key: (Benchmark, u64, u64),
+    /// The generator state after `cache_warm` warm draws.
+    gen: WorkloadGen,
+    /// Every address the warm stream touched, in order.
+    addrs: Vec<u64>,
+}
+
+thread_local! {
+    /// Recency-ordered memo: LRU at the front, MRU at the back.
+    static WARM_LRU: RefCell<Vec<WarmRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the post-warm generator and recorded address stream for
+/// `(benchmark, seed, cache_warm)`, computing and memoizing them on a miss.
+pub(crate) fn with_warm_state<R>(
+    benchmark: Benchmark,
+    seed: u64,
+    cache_warm: u64,
+    f: impl FnOnce(&WorkloadGen, &[u64]) -> R,
+) -> R {
+    let key = (benchmark, seed, cache_warm);
+    WARM_LRU.with(|lru| {
+        let mut lru = lru.borrow_mut();
+        let record = match lru.iter().position(|r| r.key == key) {
+            Some(i) => lru.remove(i),
+            None => {
+                let mut gen = WorkloadGen::new(benchmark, seed);
+                let mut addrs = Vec::new();
+                for _ in 0..cache_warm {
+                    if let Some(addr) = gen.next_warm() {
+                        addrs.push(addr);
+                    }
+                }
+                WarmRecord { key, gen, addrs }
+            }
+        };
+        let out = f(&record.gen, &record.addrs);
+        if lru.len() == WARM_LRU_CAPACITY {
+            lru.remove(0);
+        }
+        lru.push(record);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The memoized stream must be indistinguishable from the inline loop.
+    #[test]
+    fn replay_matches_inline_warm() {
+        let mut inline_gen = WorkloadGen::new(Benchmark::Gcc, 7);
+        let mut inline_addrs = Vec::new();
+        for _ in 0..5_000 {
+            if let Some(addr) = inline_gen.next_warm() {
+                inline_addrs.push(addr);
+            }
+        }
+        for _ in 0..3 {
+            with_warm_state(Benchmark::Gcc, 7, 5_000, |gen, addrs| {
+                assert_eq!(addrs, inline_addrs.as_slice());
+                let mut a = gen.clone();
+                let mut b = inline_gen.clone();
+                for _ in 0..64 {
+                    assert_eq!(a.next_inst(), b.next_inst());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_key_only() {
+        // Fill the memo past capacity with distinct seeds; every call must
+        // still return the right stream for its own key.
+        for seed in 0..(WARM_LRU_CAPACITY as u64 + 2) {
+            with_warm_state(Benchmark::Li, seed, 200, |gen, addrs| {
+                let mut fresh = WorkloadGen::new(Benchmark::Li, seed);
+                let fresh_addrs: Vec<u64> = (0..200).filter_map(|_| fresh.next_warm()).collect();
+                assert_eq!(addrs, fresh_addrs.as_slice());
+                assert_eq!(gen.clone().next_inst(), fresh.next_inst());
+            });
+        }
+        WARM_LRU.with(|lru| assert!(lru.borrow().len() <= WARM_LRU_CAPACITY));
+    }
+}

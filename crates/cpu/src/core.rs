@@ -104,6 +104,14 @@ pub struct Core<I> {
     /// Ring-buffer cycle tracer, when a trace window was requested.
     /// Events are recorded only in `probe` builds.
     tracer: Option<Tracer>,
+    /// Whether [`Core::run`] may fast-forward through provably empty
+    /// cycles (the event-horizon engine); on by default.
+    event_horizon: bool,
+    /// Cycles fast-forwarded instead of ticked, and the jumps that covered
+    /// them. Deliberately *not* part of [`RunStats`]: skipping must leave
+    /// every exported statistic bit-identical to the tick loop.
+    skipped_cycles: u64,
+    skip_spans: u64,
 }
 
 impl<I: Iterator<Item = DynInst>> Core<I> {
@@ -134,7 +142,28 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
             n_busy: 0,
             next_done: u64::MAX,
             tracer: None,
+            event_horizon: true,
+            skipped_cycles: 0,
+            skip_spans: 0,
         })
+    }
+
+    /// Enables or disables the event-horizon engine (on by default). With
+    /// it off, [`Core::run`] ticks every cycle — the reference loop the
+    /// equivalence property tests compare against.
+    pub fn set_event_horizon(&mut self, enabled: bool) {
+        self.event_horizon = enabled;
+    }
+
+    /// Cycles fast-forwarded by the event-horizon engine since
+    /// construction.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Fast-forward jumps taken since construction.
+    pub fn skip_spans(&self) -> u64 {
+        self.skip_spans
     }
 
     /// Enables the cycle tracer, retaining the last `capacity` pipeline and
@@ -189,6 +218,25 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         let mut last_retired = self.retired_total;
         let mut idle_cycles = 0u64;
         while self.retired_total < target {
+            if self.event_horizon {
+                if let Some(horizon) = self.skip_horizon() {
+                    // Nothing can retire inside a skipped span, so the span
+                    // counts against the deadlock watchdog exactly as the
+                    // ticked cycles would have.
+                    idle_cycles += self.fast_forward(horizon, &mut stats);
+                    if idle_cycles >= 100_000 {
+                        if let Some(t) = &self.tracer {
+                            eprintln!(
+                                "deadlock: last {} trace events before cycle {}:\n{}",
+                                t.len(),
+                                self.now,
+                                t.to_jsonl()
+                            );
+                        }
+                    }
+                    assert!(idle_cycles < 100_000, "pipeline deadlock at cycle {}", self.now);
+                }
+            }
             self.step(&mut stats);
             if self.retired_total == last_retired {
                 idle_cycles += 1;
@@ -246,6 +294,184 @@ impl<I: Iterator<Item = DynInst>> Core<I> {
         let _ = (issued, reject, retired, store_stalled);
         #[cfg(feature = "sanitize")]
         self.assert_invariants();
+    }
+
+    /// The core's own event horizon: the earliest future cycle at which
+    /// its timed state changes without new input — the next functional-unit
+    /// or fill completion, or the end of a misprediction redirect. `None`
+    /// when nothing is scheduled.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut horizon = if self.n_busy > 0 { self.next_done } else { u64::MAX };
+        if self.waiting_branch.is_none() && self.fetch_resume_at > now {
+            horizon = horizon.min(self.fetch_resume_at);
+        }
+        (horizon != u64::MAX).then_some(horizon)
+    }
+
+    /// Decides whether every cycle strictly between `now` and some future
+    /// event is provably empty, and if so returns that event horizon.
+    ///
+    /// A post-cycle state is skippable when nothing can happen on the next
+    /// cycle *or any cycle up to the horizon*:
+    ///
+    /// - no load is waiting for a cache port (such loads retry — and count
+    ///   statistics — every cycle);
+    /// - the window head is not complete (a `Done` head retires next
+    ///   cycle);
+    /// - fetch is blocked, and stays blocked: a squelch ends at
+    ///   `fetch_resume_at` (a horizon candidate) or at branch resolution
+    ///   (bounded by `next_done`); full windows drain only at retirement,
+    ///   which needs the head to complete (bounded by `next_done`);
+    /// - the oldest buffered store cannot drain before the horizon (blocked
+    ///   drains wait on an MSHR, a horizon candidate);
+    /// - no dispatched instruction has all sources ready. Completed
+    ///   producers' results are already visible (`Done` timestamps never
+    ///   exceed the current cycle), so readiness is static over the span.
+    ///
+    /// Every condition is stable until the returned horizon, which is
+    /// always finite in a skippable state: a blocked front end implies a
+    /// busy head (a dispatched head would be issue-ready) or a pending
+    /// redirect, each of which schedules an event.
+    fn skip_horizon(&self) -> Option<u64> {
+        if self.n_port_waiting != 0 {
+            return None;
+        }
+        if matches!(self.rob.front().map(|s| s.stage), Some(Stage::Done { .. })) {
+            return None;
+        }
+        let t = self.now + 1;
+        let squelched = self.waiting_branch.is_some() || t < self.fetch_resume_at;
+        let rob_full = self.rob.len() == self.cfg.rob_entries;
+        let lsq_blocked = self.staged.is_some() && self.lsq_used == self.cfg.lsq_entries;
+        if !squelched && !rob_full && !lsq_blocked {
+            return None;
+        }
+        let mut horizon = self.next_event(self.now).unwrap_or(u64::MAX);
+        match self.mem.store_drain_at(t) {
+            None => {}
+            Some(c) if c <= t => return None, // a buffered store drains next cycle
+            Some(c) => horizon = horizon.min(c),
+        }
+        if horizon <= t || horizon == u64::MAX {
+            return None;
+        }
+        if self.any_issue_ready(t) {
+            return None;
+        }
+        Some(horizon)
+    }
+
+    /// `true` when any dispatched instruction could issue at cycle `now`.
+    fn any_issue_ready(&self, now: u64) -> bool {
+        let mut remaining = self.n_dispatched;
+        for slot in &self.rob {
+            if remaining == 0 {
+                break;
+            }
+            if slot.stage != Stage::Dispatched {
+                continue;
+            }
+            remaining -= 1;
+            if slot.inst.srcs().iter().flatten().all(|s| self.src_ready(*s, now)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Jumps the clock to `horizon - 1`, charging the skipped cycles in
+    /// bulk exactly as the tick loop would have: one fetch-blocked counter
+    /// per cycle, and in `probe` builds one zero-width issue slot and one
+    /// (provably constant) stall cause per cycle, so `sum(stall causes) ==
+    /// cycles` still holds. Returns the number of cycles skipped.
+    ///
+    /// In `sanitize` builds the span is executed tick-by-tick instead (the
+    /// lockstep mode) and every per-cycle outcome is asserted against the
+    /// bulk prediction before the prediction is applied.
+    fn fast_forward(&mut self, horizon: u64, stats: &mut RunStats) -> u64 {
+        let t = self.now + 1;
+        let span = horizon - t;
+        debug_assert!(span > 0);
+        // Predict the span's charges from the (stable) pre-span state. The
+        // fetch cascade charges exactly one counter per blocked cycle,
+        // squelch first; the stall cascade is the probe-build attribution.
+        let mut predicted = RunStats::default();
+        if self.waiting_branch.is_some() || t < self.fetch_resume_at {
+            predicted.fetch_stall_cycles = span;
+        } else if self.rob.len() == self.cfg.rob_entries {
+            predicted.rob_full_cycles = span;
+        } else {
+            predicted.lsq_full_cycles = span;
+        }
+        #[cfg(feature = "probe")]
+        {
+            predicted.issue_width[0] = span;
+            predicted.stall.charge_n(self.classify_stall(0, false, None, t), span);
+        }
+        #[cfg(feature = "sanitize")]
+        self.lockstep_check(span, &predicted);
+        #[cfg(not(feature = "sanitize"))]
+        {
+            self.now = horizon - 1;
+        }
+        saturating_count(&mut stats.fetch_stall_cycles, predicted.fetch_stall_cycles);
+        saturating_count(&mut stats.rob_full_cycles, predicted.rob_full_cycles);
+        saturating_count(&mut stats.lsq_full_cycles, predicted.lsq_full_cycles);
+        #[cfg(feature = "probe")]
+        {
+            saturating_count(&mut stats.issue_width[0], predicted.issue_width[0]);
+            stats.stall.merge(&predicted.stall);
+        }
+        self.skipped_cycles += span;
+        self.skip_spans += 1;
+        span
+    }
+
+    /// Lockstep mode: executes a span the engine decided to skip cycle by
+    /// cycle and asserts that the ticked machine stayed architecturally
+    /// frozen and charged exactly the predicted bulk statistics. The ticked
+    /// state *is* the reference state, so passing spans prove skipping and
+    /// ticking bit-identical.
+    #[cfg(feature = "sanitize")]
+    fn lockstep_check(&mut self, span: u64, predicted: &RunStats) {
+        let observe = |c: &Self| {
+            (
+                c.head,
+                c.rob.len(),
+                c.lsq_used,
+                c.n_dispatched,
+                c.n_port_waiting,
+                c.n_busy,
+                c.next_done,
+                c.retired_total,
+                c.waiting_branch,
+                c.fetch_resume_at,
+                c.staged.as_ref().map(|i| i.id()),
+                c.mem.pending_stores(),
+            )
+        };
+        let before = observe(self);
+        let mut ticked = RunStats::default();
+        for _ in 0..span {
+            self.step(&mut ticked);
+            assert!(
+                self.retired_total == before.7,
+                "sanitize: lockstep: a skipped cycle retired instructions at {}",
+                self.now
+            );
+        }
+        let after = observe(self);
+        assert!(
+            before == after,
+            "sanitize: lockstep: skipped span changed core state at {}:\n{before:?}\n{after:?}",
+            self.now
+        );
+        assert!(
+            ticked == *predicted,
+            "sanitize: lockstep: ticked charges disagree with the bulk prediction at \
+             {}:\n{ticked:?}\n{predicted:?}",
+            self.now
+        );
     }
 
     /// Charges this cycle to exactly one [`StallCause`].
@@ -893,6 +1119,29 @@ mod tests {
             let stats = core.run(20_000);
             assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0, "{b}: implausible IPC {}", stats.ipc());
         }
+    }
+
+    #[test]
+    fn event_horizon_skips_stall_spans_invisibly() {
+        use hbc_workloads::{Benchmark, WorkloadGen};
+        // A miss-heavy stream against the slow DRAM cache stalls for long,
+        // provably idle spans; fast-forwarding them must leave every
+        // statistic and the final clock untouched.
+        let run = |skip: bool| {
+            let gen = WorkloadGen::new(Benchmark::Compress, 13);
+            let dram = MemSystem::new(MemConfig::paper_dram(8)).unwrap();
+            let mut core = Core::new(CpuConfig::paper(), dram, gen).unwrap();
+            core.set_event_horizon(skip);
+            let stats = core.run(20_000);
+            (stats, core.now(), core.skipped_cycles(), core.skip_spans())
+        };
+        let (ticked, ticked_now, ticked_skipped, _) = run(false);
+        let (skipped, skipped_now, skipped_cycles, spans) = run(true);
+        assert_eq!(ticked, skipped, "skipping changed the run statistics");
+        assert_eq!(ticked_now, skipped_now, "skipping changed the clock");
+        assert_eq!(ticked_skipped, 0);
+        assert!(skipped_cycles > 0, "a DRAM-cache run must fast-forward");
+        assert!(spans > 0 && skipped_cycles >= spans, "spans skip at least one cycle each");
     }
 }
 

@@ -375,6 +375,42 @@ impl MemSystem {
         }
     }
 
+    /// The memory system's event horizon: the earliest future cycle at
+    /// which any component changes state on its own — an MSHR fill
+    /// completing, a bus queue draining, or per-cycle port grants expiring.
+    /// `None` when every component is quiescent.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        [
+            self.mshrs.next_event(now),
+            self.chip_bus.next_event(now),
+            self.mem_bus.next_event(now),
+            self.ports.next_event(now),
+            self.stores.next_event(now),
+            self.lb.as_ref().and_then(|lb| lb.next_event(now)),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// First cycle at or after `t` the oldest buffered store could drain,
+    /// assuming the ports stay clear of loads from `t` on (the only state
+    /// in which the event-horizon engine asks). `None` when the buffer is
+    /// empty.
+    ///
+    /// With idle ports a store always wins a slot, so the one blocker left
+    /// is write-allocate needing a register: a store whose line hits the L1
+    /// or merges with an outstanding fill drains immediately; otherwise it
+    /// waits for the first free MSHR.
+    pub fn store_drain_at(&self, t: u64) -> Option<u64> {
+        let addr = self.stores.peek()?;
+        let line = line_index(addr, self.cfg.l1.line_bytes);
+        if self.mshrs.pending(line).is_some_and(|c| c > t) || self.l1.probe(addr) {
+            return Some(t);
+        }
+        Some(self.mshrs.free_at(t))
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats

@@ -103,6 +103,27 @@ impl MshrFile {
         self.entries.retain(|(_, c)| *c > now);
     }
 
+    /// The earliest fill completion strictly after `now`, if any miss is
+    /// still outstanding then — the MSHR file's contribution to the event
+    /// horizon.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.entries.iter().map(|&(_, c)| c).filter(|&c| c > now).min()
+    }
+
+    /// First cycle at or after `t` with a free register, assuming no new
+    /// allocations: `t` itself unless every register is still busy then, in
+    /// which case the earliest outstanding fill frees one.
+    pub fn free_at(&self, t: u64) -> u64 {
+        let busy_at_t = self.entries.iter().filter(|&&(_, c)| c > t).count();
+        if busy_at_t < self.capacity {
+            t
+        } else {
+            // A full file always has a fill outstanding past `t`; the `t`
+            // fallback is unreachable but keeps this query panic-free.
+            self.next_event(t).unwrap_or(t)
+        }
+    }
+
     /// Highest simultaneous occupancy observed.
     pub fn peak(&self) -> usize {
         self.peak

@@ -122,6 +122,12 @@ impl StallBreakdown {
         saturating_count(&mut self.counts[cause.index()], 1);
     }
 
+    /// Charges `cycles` cycles to `cause` at once — bulk attribution for a
+    /// fast-forwarded span whose per-cycle cause is provably constant.
+    pub fn charge_n(&mut self, cause: StallCause, cycles: u64) {
+        saturating_count(&mut self.counts[cause.index()], cycles);
+    }
+
     /// Cycles charged to `cause`.
     pub fn get(&self, cause: StallCause) -> u64 {
         self.counts[cause.index()]
