@@ -113,12 +113,14 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "serve-io-panic",
-        summary: "no bare unwrap/expect on socket or filesystem operations in hbc-serve",
-        explain: "The service is a long-lived process handling untrusted input over real \
+        summary: "no bare unwrap/expect on socket or filesystem operations in the serving \
+                  crates (hbc-serve, hbc-cluster)",
+        explain: "The services are long-lived processes handling untrusted input over real \
                   sockets: connection resets, full disks, and dropped cache files are expected \
                   conditions, and an unwrap on any of them kills a worker instead of producing \
-                  a 4xx/5xx or a degraded cache. Statements that touch socket/filesystem I/O \
-                  must propagate typed errors. No baseline: a hit is always a finding.",
+                  a 4xx/5xx, a degraded cache, or a failover. Statements that touch \
+                  socket/filesystem I/O must propagate typed errors. No baseline: a hit is \
+                  always a finding.",
     },
     RuleInfo {
         name: "lock-discipline",
@@ -221,11 +223,12 @@ pub const PANIC_CRATES: &[&str] = &[
     "hbc-probe",
     "hbc-bench",
     "hbc-serve",
+    "hbc-cluster",
 ];
 
 /// Crates whose locking is held to the `lock-discipline` rule: the
-/// long-lived server and the parallel execution engine's home crate.
-pub const LOCK_CRATES: &[&str] = &["hbc-serve", "hbc-core"];
+/// long-lived servers and the parallel execution engine's home crate.
+pub const LOCK_CRATES: &[&str] = &["hbc-serve", "hbc-cluster", "hbc-core"];
 
 /// Runs every rule over `files`; findings are sorted by path and line.
 pub fn run_all(

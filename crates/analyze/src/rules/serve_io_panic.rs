@@ -1,13 +1,14 @@
-//! Rule `serve-io-panic`: in `hbc-serve`, no bare `unwrap()` / `expect()`
-//! on socket or filesystem operations.
+//! Rule `serve-io-panic`: in the serving crates (`hbc-serve`,
+//! `hbc-cluster`), no bare `unwrap()` / `expect()` on socket or
+//! filesystem operations.
 //!
-//! The service is a long-lived process handling untrusted input over real
-//! sockets: a peer that resets a connection, a full disk, or a dropped
-//! cache file are *expected* conditions, and an `unwrap` on any of them
-//! kills a worker (or the whole server) instead of producing a `4xx`/`5xx`
-//! response or a degraded cache. The crate's contract is typed errors
-//! everywhere I/O can fail (`HttpError`, `io::Result`); this rule enforces
-//! it mechanically.
+//! The services are long-lived processes handling untrusted input over
+//! real sockets: a peer that resets a connection, a full disk, or a
+//! dropped cache file are *expected* conditions, and an `unwrap` on any
+//! of them kills a worker (or the whole server) instead of producing a
+//! `4xx`/`5xx` response, a degraded cache, or a failover. The contract is
+//! typed errors everywhere I/O can fail (`HttpError`, `WireError`,
+//! `io::Result`); this rule enforces it mechanically.
 //!
 //! Unlike the `panic` rule (a shrinking per-crate budget over all panic
 //! sites), this one has no grandfathered baseline: a hit on an I/O
@@ -62,12 +63,15 @@ const IO_TOKENS: &[&str] = &[
     "canonicalize",
 ];
 
-/// Scans `hbc-serve` non-test statements for `unwrap`/`expect` calls
+/// The crates this rule covers: every long-lived serving process.
+const SERVING_CRATES: &[&str] = &["hbc-serve", "hbc-cluster"];
+
+/// Scans serving-crate non-test statements for `unwrap`/`expect` calls
 /// sharing a statement with an I/O identifier.
 pub fn check(model: &Model<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (fi, (src, fm)) in model.sources.iter().zip(&model.files).enumerate() {
-        if src.crate_name != "hbc-serve" {
+        if !SERVING_CRATES.contains(&src.crate_name.as_str()) {
             continue;
         }
         let toks = &fm.tokens;
@@ -98,10 +102,10 @@ pub fn check(model: &Model<'_>) -> Vec<Finding> {
                         path: src.path.clone(),
                         line: t.line,
                         message: format!(
-                            "`{}` on a socket/filesystem operation in hbc-serve — return a \
-                             typed error (`HttpError`, `io::Result`) so the server degrades \
-                             instead of dying",
-                            t.text
+                            "`{}` on a socket/filesystem operation in {} — return a typed \
+                             error (`HttpError`, `WireError`, `io::Result`) so the server \
+                             degrades instead of dying",
+                            t.text, src.crate_name
                         ),
                     });
                 }
@@ -153,6 +157,19 @@ mod tests {
         assert!(run("fn f() -> io::Result<()> {\n    let l = TcpListener::bind(addr)?;\n    \
              stream.write_all(b\"x\").map_err(HttpError::Io)?;\n    Ok(())\n}\n",)
         .is_empty());
+    }
+
+    #[test]
+    fn cluster_crate_is_covered_too() {
+        let files = [SourceFile::parse(
+            PathBuf::from("f.rs"),
+            "hbc-cluster",
+            "fn f() {\n    let s = TcpStream::connect_timeout(&a, t).unwrap();\n}\n",
+            false,
+        )];
+        let findings = check(&Model::build(&files));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("hbc-cluster"));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Rendezvous (highest-random-weight) routing over the canonical spec
+//! hash.
+//!
+//! Every `(spec, worker)` pair gets a pseudo-random score —
+//! `SHA-256(spec_hash ‖ '/' ‖ worker)` truncated to a `u64` — and a spec
+//! routes to the worker with the highest score. Sorting all workers by
+//! descending score yields the *failover candidate list*: when the
+//! primary is down, the spec moves to the second-highest worker, and so
+//! on.
+//!
+//! Rendezvous hashing was chosen over a token ring because it needs no
+//! shared state: every coordinator computes the same order from the
+//! worker list alone, and removing one worker remaps only the specs that
+//! worker owned (minimal disruption), so each surviving worker's LRU and
+//! `results/cache/` shard stays hot across membership changes.
+
+use hbc_serve::hash::sha256;
+
+/// The rendezvous score of `worker` for `spec_hash` (deterministic; no
+/// process state).
+pub fn score(spec_hash: &str, worker: &str) -> u64 {
+    let mut input = Vec::with_capacity(spec_hash.len() + worker.len() + 1);
+    input.extend_from_slice(spec_hash.as_bytes());
+    input.push(b'/');
+    input.extend_from_slice(worker.as_bytes());
+    let digest = sha256(&input);
+    u64::from_le_bytes([
+        digest[0], digest[1], digest[2], digest[3], digest[4], digest[5], digest[6], digest[7],
+    ])
+}
+
+/// Worker indices ordered by descending rendezvous score for `spec_hash`:
+/// `[primary, first failover, …]`. Ties (practically impossible with
+/// distinct worker names) break toward the lower index.
+pub fn candidates(spec_hash: &str, workers: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..workers.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(score(spec_hash, &workers[i])), i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workers(names: &[&str]) -> Vec<String> {
+        names.iter().map(|n| n.to_string()).collect()
+    }
+
+    #[test]
+    fn order_is_deterministic_and_complete() {
+        let pool = workers(&["w1", "w2", "w3"]);
+        let a = candidates("deadbeef", &pool);
+        let b = candidates("deadbeef", &pool);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2], "every worker appears exactly once");
+    }
+
+    #[test]
+    fn order_is_independent_of_listing_order() {
+        let forward = workers(&["w1", "w2", "w3"]);
+        let reversed = workers(&["w3", "w2", "w1"]);
+        for hash in ["00", "a3f9", "deadbeef", "cafe0042"] {
+            let by_name_fwd: Vec<&str> =
+                candidates(hash, &forward).into_iter().map(|i| forward[i].as_str()).collect();
+            let by_name_rev: Vec<&str> =
+                candidates(hash, &reversed).into_iter().map(|i| reversed[i].as_str()).collect();
+            assert_eq!(by_name_fwd, by_name_rev, "hash {hash}");
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_only_remaps_its_own_specs() {
+        let full = workers(&["w1", "w2", "w3"]);
+        let without_w3 = workers(&["w1", "w2"]);
+        for i in 0..64u32 {
+            let hash = format!("{:08x}", i.wrapping_mul(0x9e37_79b9));
+            let primary_full = full[candidates(&hash, &full)[0]].clone();
+            let primary_less = without_w3[candidates(&hash, &without_w3)[0]].clone();
+            if primary_full != "w3" {
+                assert_eq!(primary_full, primary_less, "spec {hash} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_workers() {
+        let pool = workers(&["w1", "w2", "w3", "w4"]);
+        let mut counts = [0usize; 4];
+        for i in 0..256u32 {
+            let hash = format!("{:08x}", i.wrapping_mul(0x85eb_ca6b));
+            counts[candidates(&hash, &pool)[0]] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            assert!((20..=120).contains(&count), "worker {i} owns {count}/256 specs");
+        }
+    }
+}

@@ -64,6 +64,10 @@ pub const STAGE_NAMES: &[&str] = &[
     "serve.simulate",
     "serve.serialize",
     "serve.write",
+    // hbc-cluster coordinator/worker lifecycle.
+    "cluster.route",
+    "cluster.forward",
+    "cluster.worker_execute",
     // hbc-exec parallel engine, per cell.
     "exec.steal",
     "exec.run",

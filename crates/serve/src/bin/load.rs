@@ -1,9 +1,11 @@
-//! `hbc-load`: a deterministic load generator for `hbc-serve`.
+//! `hbc-load`: a deterministic load generator for `hbc-serve` and the
+//! `hbc-cluster` coordinator (same HTTP API).
 //!
 //! ```text
-//! hbc-load --addr URL [--requests N] [--concurrency C1,C2,…] [--seed N]
-//!          [--timeout-ms N] [--out PATH|none]
+//! hbc-load --addr URL[,URL…] [--requests N] [--concurrency C1,C2,…]
+//!          [--seed N] [--timeout-ms N] [--out PATH|none]
 //! hbc-load --addr URL --smoke
+//! hbc-load --addr URL --cluster-smoke
 //! hbc-load --addr URL --shutdown
 //! ```
 //!
@@ -12,38 +14,57 @@
 //! so every run issues the same specs in the same order — at each requested
 //! concurrency level, and records throughput, latency percentiles, and
 //! status/cache tallies into a benchmark JSON (`results/BENCH_serve.json`
-//! by default).
+//! by default). `--addr` accepts multiple targets (repeated flags or
+//! comma-separated); request `index` goes to target `index % targets`, so
+//! one run can drive several servers, or a coordinator next to a direct
+//! worker for comparison.
 //!
-//! `--smoke` is the CI gate: it computes one figure payload in-process,
-//! requests it twice, and fails unless both responses are `200` with
-//! byte-identical bodies and the second is a cache hit (confirmed both by
-//! the `X-Cache` header and the `/metrics` counters). `--shutdown` POSTs
-//! `/shutdown` and exits.
+//! `--smoke` is the single-server CI gate: it computes one figure payload
+//! in-process, requests it twice, and fails unless both responses are
+//! `200` with byte-identical bodies and the second is a cache hit
+//! (confirmed both by the `X-Cache` header and the `/metrics` counters).
+//! `--cluster-smoke` is the coordinator equivalent: a fixed spec set is
+//! computed in-process and every routed response must be byte-identical,
+//! carry an `X-Worker` attribution, repeat as a shard-local cache hit,
+//! and leave behind strictly parseable cluster metrics. `--shutdown`
+//! POSTs `/shutdown` and exits.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use hbc_serve::client;
+use hbc_serve::client::{self, HttpClient};
 use hbc_serve::json::Json;
 use hbc_serve::spec::{mixed_request, ExperimentId, Preset, RunRequest};
 
 struct Options {
-    addr: SocketAddr,
+    targets: Vec<SocketAddr>,
     requests: u64,
     concurrency: Vec<usize>,
     seed: u64,
     timeout: Duration,
     out: Option<std::path::PathBuf>,
     smoke: bool,
+    cluster_smoke: bool,
     shutdown: bool,
+}
+
+impl Options {
+    fn http(&self) -> HttpClient {
+        HttpClient::new(self.timeout)
+    }
+
+    /// The first target (the only one the smoke/shutdown modes address).
+    fn primary(&self) -> SocketAddr {
+        self.targets[0]
+    }
 }
 
 fn main() {
     let opts = options_from_args();
     if opts.shutdown {
-        match client::request(opts.addr, opts.timeout, "POST", "/shutdown", b"") {
+        match opts.http().post(opts.primary(), "/shutdown", b"") {
             Ok(resp) => println!("hbc-load: shutdown requested ({})", resp.status),
             Err(e) => fail(&format!("shutdown request failed: {e}")),
         }
@@ -51,6 +72,10 @@ fn main() {
     }
     if opts.smoke {
         smoke(&opts);
+        return;
+    }
+    if opts.cluster_smoke {
+        cluster_smoke(&opts);
         return;
     }
     load(&opts);
@@ -105,7 +130,8 @@ fn load(opts: &Options) {
 }
 
 /// Replays requests 0..`opts.requests` of the mix with `concurrency`
-/// client threads pulling indices from a shared counter.
+/// client threads pulling indices from a shared counter. Request `index`
+/// goes to target `index % targets`.
 fn run_level(opts: &Options, concurrency: usize) -> Level {
     let next = Arc::new(AtomicU64::new(0));
     let (tx, rx) = mpsc::channel::<Sample>();
@@ -114,15 +140,17 @@ fn run_level(opts: &Options, concurrency: usize) -> Level {
     for _ in 0..concurrency.max(1) {
         let next = Arc::clone(&next);
         let tx = tx.clone();
-        let (addr, timeout, seed, requests) = (opts.addr, opts.timeout, opts.seed, opts.requests);
+        let targets = opts.targets.clone();
+        let (http, seed, requests) = (opts.http(), opts.seed, opts.requests);
         threads.push(std::thread::spawn(move || loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= requests {
                 return;
             }
+            let target = targets[usize::try_from(index).unwrap_or(0) % targets.len()];
             let spec = mixed_request(seed, index).to_json();
             let t0 = Instant::now();
-            let sample = match client::request(addr, timeout, "POST", "/run", spec.as_bytes()) {
+            let sample = match http.post(target, "/run", spec.as_bytes()) {
                 Ok(resp) => Sample {
                     status: resp.status,
                     cache: resp.header("x-cache").unwrap_or("none").to_string(),
@@ -167,6 +195,7 @@ fn render_report(opts: &Options, levels: &[Level]) -> String {
     let mut config = BTreeMap::new();
     config.insert("requests".to_string(), Json::U64(opts.requests));
     config.insert("seed".to_string(), Json::U64(opts.seed));
+    config.insert("targets".to_string(), Json::U64(opts.targets.len() as u64));
     config.insert("mix".to_string(), Json::Str("hbc-load mix (spec::mixed_request)".to_string()));
     let levels = levels
         .iter()
@@ -212,12 +241,14 @@ fn render_report(opts: &Options, levels: &[Level]) -> String {
 
 /// The CI smoke gate: golden byte-identity plus a verified cache hit.
 fn smoke(opts: &Options) {
+    let http = opts.http();
+    let addr = opts.primary();
     let mut request = RunRequest::new(ExperimentId::Fig4);
     request.preset = Preset::Fast;
     let expected = request.execute();
     let spec = request.to_json();
 
-    let first = match client::request(opts.addr, opts.timeout, "POST", "/run", spec.as_bytes()) {
+    let first = match http.post(addr, "/run", spec.as_bytes()) {
         Ok(resp) => resp,
         Err(e) => fail(&format!("first request failed: {e}")),
     };
@@ -227,7 +258,7 @@ fn smoke(opts: &Options) {
     if first.body != expected.as_bytes() {
         fail("first response body differs from the figure binary's output");
     }
-    let second = match client::request(opts.addr, opts.timeout, "POST", "/run", spec.as_bytes()) {
+    let second = match http.post(addr, "/run", spec.as_bytes()) {
         Ok(resp) => resp,
         Err(e) => fail(&format!("second request failed: {e}")),
     };
@@ -242,7 +273,7 @@ fn smoke(opts: &Options) {
     if !label.starts_with("hit-") {
         fail(&format!("second request was not served from the cache (X-Cache: {label})"));
     }
-    let metrics = match client::request(opts.addr, opts.timeout, "GET", "/metrics", b"") {
+    let metrics = match http.get(addr, "/metrics") {
         Ok(resp) => resp,
         Err(e) => fail(&format!("metrics request failed: {e}")),
     };
@@ -263,7 +294,7 @@ fn smoke(opts: &Options) {
     let hits = hits as u64;
     // Capture the span trace: every line must be a JSON object naming a
     // registered stage. Saved for CI to archive as an artifact.
-    let trace = match client::request(opts.addr, opts.timeout, "GET", "/trace", b"") {
+    let trace = match http.get(addr, "/trace") {
         Ok(resp) => resp,
         Err(e) => fail(&format!("trace request failed: {e}")),
     };
@@ -298,16 +329,87 @@ fn smoke(opts: &Options) {
     );
 }
 
+/// The cluster CI gate, run against a coordinator: routed responses must
+/// be byte-identical to in-process execution, attributed to a worker,
+/// repeat as shard-local cache hits, and leave valid cluster metrics.
+fn cluster_smoke(opts: &Options) {
+    let http = opts.http();
+    let addr = opts.primary();
+    let mut bytes = 0usize;
+    let mut workers = std::collections::BTreeSet::new();
+    for index in 0..4u64 {
+        let request = mixed_request(opts.seed, index);
+        let expected = request.execute();
+        let spec = request.to_json();
+        let first = match http.post(addr, "/run", spec.as_bytes()) {
+            Ok(resp) => resp,
+            Err(e) => fail(&format!("request {index} failed: {e}")),
+        };
+        if first.status != 200 {
+            fail(&format!(
+                "request {index}: expected 200, got {} ({})",
+                first.status,
+                first.text()
+            ));
+        }
+        if first.body != expected.as_bytes() {
+            fail(&format!("request {index}: routed response differs from in-process execution"));
+        }
+        let worker = match first.header("x-worker") {
+            Some(worker) => worker.to_string(),
+            None => fail(&format!("request {index}: response carries no X-Worker attribution")),
+        };
+        // Rendezvous routing sends the identical spec to the same worker,
+        // so the repeat must be a shard-local cache hit.
+        let second = match http.post(addr, "/run", spec.as_bytes()) {
+            Ok(resp) => resp,
+            Err(e) => fail(&format!("repeat of request {index} failed: {e}")),
+        };
+        let label = second.header("x-cache").unwrap_or("none");
+        if second.status != 200 || second.body != expected.as_bytes() {
+            fail(&format!("repeat of request {index}: status {}", second.status));
+        }
+        if !label.starts_with("hit-") {
+            fail(&format!("repeat of request {index} missed its shard cache (X-Cache: {label})"));
+        }
+        bytes += expected.len();
+        workers.insert(worker);
+    }
+    let metrics = match http.get(addr, "/metrics") {
+        Ok(resp) => resp,
+        Err(e) => fail(&format!("metrics request failed: {e}")),
+    };
+    let samples = match hbc_serve::metrics::parse_prometheus(&metrics.text()) {
+        Ok(samples) => samples,
+        Err(e) => fail(&format!("metrics body is not valid Prometheus text: {e}")),
+    };
+    let forwarded: f64 =
+        samples.iter().filter(|s| s.name == "cluster_forwarded_total").map(|s| s.value).sum();
+    if forwarded < 8.0 {
+        fail(&format!("cluster_forwarded_total is {forwarded}, expected at least 8"));
+    }
+    let healthy =
+        samples.iter().filter(|s| s.name == "cluster_worker_healthy" && s.value == 1.0).count();
+    if healthy == 0 {
+        fail("no worker is marked healthy in /metrics");
+    }
+    println!(
+        "hbc-load cluster-smoke: ok ({bytes} payload bytes over {} worker(s), \
+         {forwarded} forwards, {healthy} healthy)",
+        workers.len()
+    );
+}
+
 fn options_from_args() -> Options {
-    let mut addr = None;
     let mut opts = Options {
-        addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+        targets: Vec::new(),
         requests: 64,
         concurrency: vec![1, 4],
         seed: 7,
         timeout: Duration::from_secs(120),
         out: Some(std::path::PathBuf::from("results/BENCH_serve.json")),
         smoke: false,
+        cluster_smoke: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -316,10 +418,14 @@ fn options_from_args() -> Options {
             args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
         match arg.as_str() {
-            "--addr" => match client::parse_addr(&value("--addr")) {
-                Ok(parsed) => addr = Some(parsed),
-                Err(e) => usage(&e),
-            },
+            "--addr" => {
+                for part in value("--addr").split(',') {
+                    match client::parse_addr(part.trim()) {
+                        Ok(parsed) => opts.targets.push(parsed),
+                        Err(e) => usage(&e),
+                    }
+                }
+            }
             "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
             "--concurrency" => {
                 opts.concurrency = value("--concurrency")
@@ -339,13 +445,13 @@ fn options_from_args() -> Options {
                 opts.out = if path == "none" { None } else { Some(path.into()) };
             }
             "--smoke" => opts.smoke = true,
+            "--cluster-smoke" => opts.cluster_smoke = true,
             "--shutdown" => opts.shutdown = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
-    match addr {
-        Some(addr) => opts.addr = addr,
-        None => usage("--addr is required (e.g. --addr http://127.0.0.1:8080)"),
+    if opts.targets.is_empty() {
+        usage("--addr is required (e.g. --addr http://127.0.0.1:8080)");
     }
     opts
 }
@@ -357,8 +463,8 @@ fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: hbc-load --addr URL [--requests N] [--concurrency C1,C2,…] [--seed N] \
-         [--timeout-ms N] [--out PATH|none] [--smoke] [--shutdown]"
+        "usage: hbc-load --addr URL[,URL…] [--requests N] [--concurrency C1,C2,…] [--seed N] \
+         [--timeout-ms N] [--out PATH|none] [--smoke] [--cluster-smoke] [--shutdown]"
     );
     std::process::exit(2);
 }

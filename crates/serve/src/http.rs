@@ -130,6 +130,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",

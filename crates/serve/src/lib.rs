@@ -19,8 +19,10 @@
 //!   `hbc-probe` registry JSON at `GET /metrics.json`);
 //! * [`spans`] — request-scoped span tracing across the whole request
 //!   lifecycle, exported as JSON lines at `GET /trace`;
-//! * [`client`] — the minimal blocking HTTP client used by the `hbc-load`
-//!   generator and the end-to-end tests.
+//! * [`client`] — the reusable blocking HTTP client (separate connect and
+//!   I/O timeouts, typed [`client::ClientError`]) shared by the `hbc-load`
+//!   generator, the `hbc-cluster` coordinator tooling, and the end-to-end
+//!   tests.
 //!
 //! The serving contract is *bit-identity*: a figure fetched through the
 //! service equals the corresponding figure binary's standard output

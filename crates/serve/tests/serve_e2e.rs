@@ -11,13 +11,17 @@
 use std::time::{Duration, Instant};
 
 use hbc_core::experiments;
-use hbc_serve::client;
+use hbc_serve::client::HttpClient;
 use hbc_serve::json::Json;
 use hbc_serve::metrics::parse_prometheus;
 use hbc_serve::server::{Server, ServerConfig};
 use hbc_serve::spec::{ExperimentId, Preset, RunRequest};
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn http() -> HttpClient {
+    HttpClient::new(CLIENT_TIMEOUT)
+}
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("hbc-serve-e2e-{name}-{}", std::process::id()));
@@ -39,8 +43,7 @@ fn test_config() -> ServerConfig {
 }
 
 fn post_run(server: &Server, spec: &str) -> hbc_serve::http::Response {
-    client::request(server.addr(), CLIENT_TIMEOUT, "POST", "/run", spec.as_bytes())
-        .expect("request completes")
+    http().post(server.addr(), "/run", spec.as_bytes()).expect("request completes")
 }
 
 fn shut_down(server: Server) {
@@ -51,8 +54,7 @@ fn shut_down(server: Server) {
 /// Cache-hit counter across both tiers, read from the Prometheus text at
 /// `GET /metrics`.
 fn metrics_cache_hits(server: &Server) -> u64 {
-    let resp = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics", b"")
-        .expect("metrics request completes");
+    let resp = http().get(server.addr(), "/metrics").expect("metrics request completes");
     assert_eq!(resp.status, 200);
     let samples = parse_prometheus(&resp.text()).expect("metrics body is valid Prometheus text");
     samples.iter().filter(|s| s.name == "serve_cache_hits_total").map(|s| s.value as u64).sum()
@@ -130,8 +132,7 @@ fn concurrent_identical_requests_run_one_simulation() {
     let threads: Vec<_> = (0..4)
         .map(|_| {
             std::thread::spawn(move || {
-                client::request(addr, CLIENT_TIMEOUT, "POST", "/run", spec.as_bytes())
-                    .expect("request completes")
+                http().post(addr, "/run", spec.as_bytes()).expect("request completes")
             })
         })
         .collect();
@@ -165,14 +166,9 @@ fn overload_answers_429_and_shutdown_drains_with_503() {
         std::thread::sleep(Duration::from_millis(1));
     }
 
-    let rejected = client::request(
-        server.addr(),
-        CLIENT_TIMEOUT,
-        "POST",
-        "/run",
-        br#"{"experiment":"table2"}"#,
-    )
-    .expect("rejection is a real response, not a hang or reset");
+    let rejected = http()
+        .post(server.addr(), "/run", br#"{"experiment":"table2"}"#)
+        .expect("rejection is a real response, not a hang or reset");
     assert_eq!(rejected.status, 429);
     assert!(rejected.text().contains("queue"), "{}", rejected.text());
 
@@ -231,8 +227,7 @@ fn malformed_requests_are_400_with_a_json_envelope() {
         (br#"{"experiment":"fig6","speed":1}"#, "unknown field"),
         (br#"[1,2]"#, "must be a JSON object"),
     ] {
-        let resp = client::request(server.addr(), CLIENT_TIMEOUT, "POST", "/run", body)
-            .expect("request completes");
+        let resp = http().post(server.addr(), "/run", body).expect("request completes");
         assert_eq!(resp.status, 400, "{}", resp.text());
         let envelope = Json::parse(&resp.text()).expect("error envelope is JSON");
         let error = envelope.as_obj().expect("object")["error"].as_str().expect("message");
@@ -244,24 +239,19 @@ fn malformed_requests_are_400_with_a_json_envelope() {
 #[test]
 fn routing_distinguishes_404_and_405() {
     let server = Server::bind(test_config()).expect("bind");
-    let missing = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/nope", b"")
-        .expect("request completes");
+    let missing = http().get(server.addr(), "/nope").expect("request completes");
     assert_eq!(missing.status, 404);
-    let wrong_method = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/run", b"")
-        .expect("request completes");
+    let wrong_method = http().get(server.addr(), "/run").expect("request completes");
     assert_eq!(wrong_method.status, 405);
     for path in ["/trace", "/metrics.json", "/metrics"] {
-        let resp = client::request(server.addr(), CLIENT_TIMEOUT, "POST", path, b"")
-            .expect("request completes");
+        let resp = http().post(server.addr(), path, b"").expect("request completes");
         assert_eq!(resp.status, 405, "POST {path} must be rejected, not routed");
     }
 
-    let health = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/healthz", b"")
-        .expect("request completes");
+    let health = http().get(server.addr(), "/healthz").expect("request completes");
     assert_eq!((health.status, health.text().as_str()), (200, "ok\n"));
 
-    let listing = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/experiments", b"")
-        .expect("request completes");
+    let listing = http().get(server.addr(), "/experiments").expect("request completes");
     let v = Json::parse(&listing.text()).expect("listing parses");
     let experiments = &v.as_obj().expect("object")["experiments"];
     assert!(matches!(experiments, Json::Arr(items) if items.len() == 10));
@@ -275,8 +265,7 @@ fn metrics_is_valid_prometheus_and_metrics_json_keeps_the_registry() {
     assert_eq!(post_run(&server, spec).status, 200);
     assert_eq!(post_run(&server, spec).status, 200); // a cache hit
 
-    let text = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics", b"")
-        .expect("metrics request completes");
+    let text = http().get(server.addr(), "/metrics").expect("metrics request completes");
     assert_eq!(text.status, 200);
     assert!(text.header("content-type").is_some_and(|ct| ct.starts_with("text/plain")));
     let samples = parse_prometheus(&text.text()).expect("whole body parses as Prometheus text");
@@ -304,8 +293,8 @@ fn metrics_is_valid_prometheus_and_metrics_json_keeps_the_registry() {
 
     // The legacy registry JSON moved to /metrics.json, now carrying the
     // eviction counter next to the original fifteen.
-    let legacy = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/metrics.json", b"")
-        .expect("metrics.json request completes");
+    let legacy =
+        http().get(server.addr(), "/metrics.json").expect("metrics.json request completes");
     assert_eq!(legacy.status, 200);
     let v = Json::parse(&legacy.text()).expect("legacy metrics JSON parses");
     let counters = v.as_obj().expect("object")["counters"].as_obj().expect("counters");
@@ -322,8 +311,7 @@ fn trace_replays_the_request_lifecycle_as_jsonl() {
     assert_eq!(post_run(&server, spec).status, 200); // miss: simulates
     assert_eq!(post_run(&server, spec).status, 200); // memory hit
 
-    let resp = client::request(server.addr(), CLIENT_TIMEOUT, "GET", "/trace", b"")
-        .expect("trace request completes");
+    let resp = http().get(server.addr(), "/trace").expect("trace request completes");
     assert_eq!(resp.status, 200);
     assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
     let text = resp.text();
@@ -360,8 +348,7 @@ fn trace_replays_the_request_lifecycle_as_jsonl() {
 #[test]
 fn shutdown_endpoint_stops_the_server() {
     let server = Server::bind(test_config()).expect("bind");
-    let resp = client::request(server.addr(), CLIENT_TIMEOUT, "POST", "/shutdown", b"")
-        .expect("request completes");
+    let resp = http().post(server.addr(), "/shutdown", b"").expect("request completes");
     assert_eq!(resp.status, 200);
     // join() returning proves the acceptor and workers exited; a bug here
     // hangs the test rather than silently passing.
