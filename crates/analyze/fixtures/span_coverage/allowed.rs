@@ -14,3 +14,9 @@ fn unrelated(map: &StateMap) {
     // outside the span lint.
     map.enter("once");
 }
+
+fn instrument_linked(spans: &ServeSpans) {
+    // Pre-allocated span IDs record through the same table.
+    let span = spans.alloc_span();
+    spans.record_linked("exec.run", span, 1, 0, 10, 250);
+}

@@ -8,3 +8,8 @@ fn instrument(spans: &ServeSpans) {
     // Typo: the table registers `serve.parse`.
     spans.record_at("serve.parze", 1, 0, 10, 250);
 }
+
+fn instrument_linked(spans: &ServeSpans) {
+    // Typo at a linked-record site: same closed-world check applies.
+    spans.record_linked("serve.parsa", 7, 1, 0, 10, 250);
+}

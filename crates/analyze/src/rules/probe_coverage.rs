@@ -22,7 +22,8 @@
 //!   under `prefix.`.
 //!
 //! The same closed-world check covers span stages: a literal stage name
-//! at an `enter("…")` / `record_at("…", …)` / `record_since("…", …)` site
+//! at an `enter("…")` / `record_at("…", …)` / `record_since("…", …)` /
+//! `record_linked("…", …)` site
 //! must appear in the `STAGE_NAMES` table (`hbc_probe::span`). A stage
 //! missing from the table panics debug builds at the recording site and
 //! ships unregistered stages in release traces; the lint catches the typo
@@ -231,7 +232,7 @@ pub fn check(model: &Model<'_>) -> Vec<Finding> {
     // (a workspace without the span subsystem has nothing to check).
     let stages = stage_table(model);
     if !stages.is_empty() {
-        for marker in ["enter", "record_at", "record_since"] {
+        for marker in ["enter", "record_at", "record_since", "record_linked"] {
             for site in sites(model, marker) {
                 if !valid(&site.name) || model.allowed(site.fi, site.line, "probe-coverage") {
                     continue;
@@ -339,13 +340,20 @@ mod tests {
         let ok = format!(
             "{table}fn f(spans: &S) {{\n    let _g = enter(\"exec.run\");\n    \
              record_since(\"exec.run\", 0);\n    \
-             spans.record_at(\"serve.parse\", 1, 0, 10, 250);\n}}\n"
+             spans.record_at(\"serve.parse\", 1, 0, 10, 250);\n    \
+             spans.record_linked(\"exec.run\", 7, 1, 0, 10, 250);\n}}\n"
         );
         assert!(run(&ok).is_empty());
         let bad = format!("{table}fn f() {{\n    let _g = enter(\"serve.parze\");\n}}\n");
         let f = run(&bad);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("missing from STAGE_NAMES"));
+        let bad_linked = format!(
+            "{table}fn f(s: &S) {{\n    s.record_linked(\"exec.rum\", 7, 1, 0, 1, 2);\n}}\n"
+        );
+        let f = run(&bad_linked);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("record_linked"));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Rule `wire-coverage`: every wire-protocol frame kind is exercised by
+//! the test suite.
+//!
+//! The cluster's binary wire protocol is a closed enum (`Msg` in
+//! `crates/cluster/src/wire.rs`): each variant is one frame kind with its
+//! own encode/decode path and a fixed kind byte. The property suite
+//! (`tests/wire_props.rs`) round-trips random messages, but its
+//! `random_msg` generator — and every hand-written round-trip list — is
+//! maintained by hand, so a newly added frame kind can compile, ship, and
+//! never once pass through the codec under test. That is exactly how the
+//! `Trace`/`TraceOk` federation frames (or the next protocol extension)
+//! would rot: the decoder path for a kind nobody generates is dead weight
+//! until a peer sends it in production.
+//!
+//! The rule closes the loop mechanically: for every variant of a
+//! non-test `enum Msg` declaration, some *test* line in the workspace
+//! must mention `Msg::<Variant>` — constructing it, matching on it, or
+//! asserting its shape all count. A variant that no test line touches is
+//! a finding on its declaration line.
+//!
+//! Scope: any enum named `Msg` outside test code participates (the
+//! workspace has exactly one — the wire protocol). Enums under other
+//! names are untouched, so this never fires on unrelated message types.
+//! Audit a deliberately untested variant with `hbc-allow: wire-coverage`.
+
+use crate::lexer::TokKind;
+use crate::model::{matching_brace, Model};
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// One declared wire-enum variant.
+struct Variant {
+    fi: usize,
+    line: usize,
+    name: String,
+}
+
+/// Collects the variants of every non-test `enum Msg` declaration.
+fn wire_variants(model: &Model<'_>) -> Vec<Variant> {
+    let mut out = Vec::new();
+    for (fi, fm) in model.files.iter().enumerate() {
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if !tok.is_ident("enum") || model.is_test_line(fi, tok.line) {
+                continue;
+            }
+            let Some(name) = fm.tokens.get(ti + 1) else { continue };
+            let Some(open) = fm.tokens.get(ti + 2) else { continue };
+            if !name.is_ident("Msg") || !open.is_punct('{') {
+                continue;
+            }
+            let close = matching_brace(&fm.tokens, ti + 2);
+            let variant_depth = open.depth + 1;
+            // A variant name is an ident at the enum's body depth in
+            // "expect a variant" position: right after the opening brace
+            // or a body-depth comma outside tuple-variant parentheses.
+            // Struct-variant fields sit one brace deeper; tuple-variant
+            // fields are guarded by the paren counter; attributes
+            // (`#[…]`) are skipped bracket-balanced.
+            let mut expect = true;
+            let mut parens = 0i32;
+            let mut brackets = 0i32;
+            for t in &fm.tokens[ti + 3..close] {
+                if t.is_punct('[') {
+                    brackets += 1;
+                    continue;
+                }
+                if t.is_punct(']') {
+                    brackets -= 1;
+                    continue;
+                }
+                if brackets > 0 || t.is_punct('#') {
+                    continue;
+                }
+                if t.is_punct('(') {
+                    parens += 1;
+                } else if t.is_punct(')') {
+                    parens -= 1;
+                } else if t.is_punct(',') && parens == 0 && t.depth == variant_depth {
+                    expect = true;
+                } else if expect && t.kind == TokKind::Ident && t.depth == variant_depth {
+                    out.push(Variant { fi, line: t.line, name: t.text.clone() });
+                    expect = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects every variant name mentioned as `Msg::<Variant>` on a test
+/// line anywhere in the workspace.
+fn test_mentions(model: &Model<'_>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (fi, fm) in model.files.iter().enumerate() {
+        for (ti, tok) in fm.tokens.iter().enumerate() {
+            if !tok.is_ident("Msg") || !model.is_test_line(fi, tok.line) {
+                continue;
+            }
+            let path = (
+                fm.tokens.get(ti + 1).map(|t| t.is_punct(':')),
+                fm.tokens.get(ti + 2).map(|t| t.is_punct(':')),
+                fm.tokens.get(ti + 3),
+            );
+            if let (Some(true), Some(true), Some(variant)) = path {
+                if variant.kind == TokKind::Ident {
+                    out.insert(variant.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the rule over the workspace model.
+pub fn check(model: &Model<'_>) -> Vec<Finding> {
+    let variants = wire_variants(model);
+    if variants.is_empty() {
+        return Vec::new(); // no wire enum in this workspace
+    }
+    let covered = test_mentions(model);
+    let mut findings = Vec::new();
+    for v in variants {
+        if covered.contains(&v.name) || model.allowed(v.fi, v.line, "wire-coverage") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "wire-coverage",
+            path: model.sources[v.fi].path.clone(),
+            line: v.line,
+            message: format!(
+                "wire frame kind `Msg::{}` is never touched by any test — its codec path \
+                 ships unexercised; add it to the wire property suite (random_msg / the \
+                 round-trip list) or audit with hbc-allow",
+                v.name
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(texts: &[&str]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                SourceFile::parse(PathBuf::from(format!("f{i}.rs")), "hbc-cluster", text, false)
+            })
+            .collect();
+        check(&Model::build(&files))
+    }
+
+    const ENUM: &str = "pub enum Msg {\n    Run { spec_json: String },\n    Health,\n    \
+                        StatsOk { pairs: Vec<(String, u64)> },\n}\n";
+
+    #[test]
+    fn untested_variants_fire_per_variant() {
+        let f = run(&[ENUM]);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f[0].message.contains("Msg::Run"));
+        assert!(f.iter().all(|x| x.message.contains("never touched by any test")));
+    }
+
+    #[test]
+    fn test_mentions_cover_construct_and_match() {
+        let tests = "#[cfg(test)]\nmod t {\n    fn f() {\n        \
+                     let m = Msg::Run { spec_json: s };\n        \
+                     assert!(matches!(m, Msg::Health));\n        \
+                     match m { Msg::StatsOk { .. } => {}, _ => {} }\n    }\n}\n";
+        assert!(run(&[ENUM, tests]).is_empty());
+    }
+
+    #[test]
+    fn non_test_mentions_do_not_count() {
+        let prod = "fn serve(m: Msg) {\n    match m { Msg::Run { .. } => {}, _ => {} }\n}\n";
+        assert_eq!(run(&[ENUM, prod]).len(), 3, "production matches are not coverage");
+    }
+
+    #[test]
+    fn other_enums_and_workspaces_without_msg_are_silent() {
+        assert!(run(&["pub enum Reply {\n    Ok,\n    Err(String),\n}\n"]).is_empty());
+        assert!(run(&["fn f() {}\n"]).is_empty());
+    }
+
+    #[test]
+    fn tuple_variant_fields_are_not_variants() {
+        let e = "enum Msg {\n    Pair(u32, u32),\n    Single(String),\n}\n";
+        let f = run(&[e]);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("Msg::Pair"));
+        assert!(f[1].message.contains("Msg::Single"));
+    }
+
+    #[test]
+    fn allows_audit_a_variant() {
+        let e = "pub enum Msg {\n    // hbc-allow: wire-coverage (reserved for the next \
+                 protocol rev)\n    Future,\n}\n";
+        assert!(run(&[e]).is_empty());
+    }
+
+    #[test]
+    fn fixtures_match_expectations() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join("wire_coverage");
+        let bad = std::fs::read_to_string(dir.join("violation.rs")).unwrap();
+        let ok = std::fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(!run(&[bad.as_str()]).is_empty(), "wire_coverage/violation.rs should fire");
+        assert!(run(&[ok.as_str()]).is_empty(), "wire_coverage/allowed.rs should be clean");
+    }
+}

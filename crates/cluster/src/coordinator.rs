@@ -51,7 +51,7 @@ use hbc_serve::spec::{ExperimentId, Preset, RunRequest};
 
 use crate::lock;
 use crate::ring;
-use crate::wire::{self, Msg, WireError};
+use crate::wire::{self, Msg, TraceCtx, WireError};
 
 /// Coordinator construction parameters.
 #[derive(Debug, Clone)]
@@ -551,7 +551,14 @@ fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
     };
     shared.metrics.requests.inc();
 
-    match (request.method.as_str(), request.path.as_str()) {
+    // `Request.path` carries the query string verbatim; split it off so
+    // `/trace?federated=1` routes to the trace endpoint. Every response
+    // for a bare path is byte-identical to before.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/run") => handle_run(shared, &mut stream, ctx, deadline, &request),
         ("GET", "/metrics") => {
             let body = render_prometheus(shared);
@@ -563,7 +570,11 @@ fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
             respond(shared, &mut stream, ctx, 200, "application/json", &[], body.as_bytes());
         }
         ("GET", "/trace") => {
-            let body = shared.spans.to_jsonl();
+            let body = if query.split('&').any(|pair| pair == "federated=1") {
+                federated_trace_body(shared)
+            } else {
+                shared.spans.to_jsonl()
+            };
             respond(shared, &mut stream, ctx, 200, "application/x-ndjson", &[], body.as_bytes());
         }
         ("GET", "/healthz") => {
@@ -627,6 +638,44 @@ fn cluster_body(shared: &Shared) -> String {
     Json::Obj(obj).render()
 }
 
+/// `GET /trace?federated=1`: the coordinator's own span ring plus every
+/// healthy worker's, pulled over `Trace` frames and merged into one
+/// JSONL stream. Each source opens with a meta line carrying its drop
+/// accounting (`{"trace_meta":1,"node":…,"dropped":…,"retained":…}`), so
+/// a truncated ring is visible in the merge instead of silently reading
+/// as a complete trace. The bare `GET /trace` body is unchanged.
+fn federated_trace_body(shared: &Shared) -> String {
+    let trace_budget = shared.wire_timeout.min(Duration::from_secs(2));
+    let mut out = String::new();
+    push_trace_source(
+        &mut out,
+        "coordinator",
+        shared.spans.log().dropped(),
+        &shared.spans.to_jsonl(),
+    );
+    for target in &shared.targets {
+        if !target.healthy.load(Ordering::SeqCst) {
+            continue;
+        }
+        if let Ok(Msg::TraceOk { worker_id, dropped, jsonl }) =
+            forward(&target.addr, &Msg::Trace, trace_budget)
+        {
+            push_trace_source(&mut out, &worker_id, dropped, &jsonl);
+        }
+    }
+    out
+}
+
+fn push_trace_source(out: &mut String, node: &str, dropped: u64, jsonl: &str) {
+    use std::fmt::Write as _;
+    let retained = jsonl.lines().count();
+    let _ = writeln!(
+        out,
+        "{{\"trace_meta\":1,\"node\":\"{node}\",\"dropped\":{dropped},\"retained\":{retained}}}"
+    );
+    out.push_str(jsonl);
+}
+
 /// Routes and forwards one `POST /run`, with failover.
 fn handle_run(
     shared: &Arc<Shared>,
@@ -683,12 +732,21 @@ fn handle_run(
             shared.metrics.failovers.inc();
         }
         let budget = shared.wire_timeout.min(deadline.saturating_duration_since(Instant::now()));
+        // The forward span's ID is allocated before the exchange so it
+        // can ride in the wire trace context: the worker records its
+        // spans under this request ID, parented on this span, and the
+        // federated trace stitches into one tree. Each failover attempt
+        // gets its own forward span.
+        let forward_span = shared.spans.alloc_span();
+        let trace = Some(TraceCtx { request: ctx.request_id, parent: forward_span });
         let forward_start_us = shared.spans.now_us();
         let forward_start = Instant::now();
-        let outcome = forward(&target.addr, &Msg::Run { spec_json: text.to_string() }, budget);
+        let run_msg = Msg::Run { spec_json: text.to_string(), trace };
+        let outcome = forward(&target.addr, &run_msg, budget);
         let micros = u64::try_from(forward_start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        shared.spans.record_at(
+        shared.spans.record_linked(
             "cluster.forward",
+            forward_span,
             ctx.request_id,
             0,
             forward_start_us,
@@ -877,6 +935,14 @@ fn render_prometheus(shared: &Shared) -> String {
     family(&mut out, "cluster_queue_peak", "gauge", "High-water mark of the admission queue.");
     let _ = writeln!(out, "cluster_queue_peak {}", m.queue_peak.load(Ordering::Relaxed));
 
+    family(
+        &mut out,
+        "hbc_span_dropped_total",
+        "counter",
+        "Spans evicted from the bounded ring before export (a nonzero value means GET /trace is truncated).",
+    );
+    let _ = writeln!(out, "hbc_span_dropped_total {}", shared.spans.log().dropped());
+
     let summary = |out: &mut String, name: &str, labels: &str, h: &Histogram| {
         let lead = if labels.is_empty() { String::new() } else { format!("{labels},") };
         for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
@@ -971,6 +1037,29 @@ mod tests {
         assert!(samples.iter().any(|s| s.name == "cluster_forwarded_total"
             && s.label("worker") == Some("127.0.0.1:9101")
             && s.value == 1.0));
+        assert!(
+            samples.iter().any(|s| s.name == "hbc_span_dropped_total" && s.value == 0.0),
+            "span drop accounting must be exported"
+        );
+    }
+
+    #[test]
+    fn federated_trace_meta_lines_carry_drop_accounting() {
+        let mut out = String::new();
+        push_trace_source(&mut out, "coordinator", 0, "{\"request\":1}\n{\"request\":1}\n");
+        push_trace_source(&mut out, "127.0.0.1:9101", 7, "");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"trace_meta\":1,\"node\":\"coordinator\",\"dropped\":0,\"retained\":2}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"trace_meta\":1,\"node\":\"127.0.0.1:9101\",\"dropped\":7,\"retained\":0}"
+        );
+        for line in &lines {
+            Json::parse(line).expect("every merged line is valid JSON");
+        }
     }
 
     #[test]

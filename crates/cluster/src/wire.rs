@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "HBCW"
-//!      4     2  protocol version, little-endian (== [`VERSION`])
+//!      4     2  protocol version, little-endian (in [`MIN_VERSION`]..=[`VERSION`])
 //!      6     1  message kind
 //!      7     1  reserved (0)
 //!      8     4  payload length, little-endian (≤ [`MAX_PAYLOAD`])
@@ -20,6 +20,19 @@
 //! codec with mutated frames to prove it). Payload field encodings are
 //! little-endian integers and length-prefixed UTF-8 strings; a decoder
 //! must consume the payload exactly.
+//!
+//! # Versioning
+//!
+//! Version 2 extended the `Run` payload with an optional distributed
+//! trace context ([`TraceCtx`]: the coordinator's request ID plus the
+//! parent span ID of its forward span) and added the `Trace`/`TraceOk`
+//! frame pair for span-ring federation. The decoder accepts every
+//! version in `MIN_VERSION..=VERSION`: a version-1 `Run` payload (no
+//! trace suffix) decodes to `trace: None`, so worker-side spans simply
+//! degrade to an unlinked local root — a skewed peer is never an error.
+//! Rolling upgrades therefore go workers first (a v2 worker accepts v1
+//! coordinators), coordinator last. [`encode_versioned`] exists so the
+//! property suite can impersonate an old peer on both directions.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -27,7 +40,11 @@ use std::io::{self, Read, Write};
 use hbc_serve::hash::sha256;
 
 /// Current protocol version; bumped on any frame or payload change.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
+/// Oldest protocol version this build still decodes. Frames between
+/// `MIN_VERSION` and [`VERSION`] are accepted; anything outside is a
+/// typed [`WireError::VersionMismatch`].
+pub const MIN_VERSION: u16 = 1;
 /// Frame magic, first on the wire.
 pub const MAGIC: [u8; 4] = *b"HBCW";
 /// Fixed header size in bytes.
@@ -35,6 +52,19 @@ pub const HEADER_LEN: usize = 16;
 /// Payload size cap. Figure tables are a few KiB; anything near the cap
 /// is a corrupt length field or abuse.
 pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// The distributed trace context a coordinator threads through a `Run`
+/// frame (protocol version 2+), so worker-side spans join the
+/// coordinator's causal tree instead of starting a fresh local root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The coordinator-allocated root request ID every span of this
+    /// request is recorded under, on both processes.
+    pub request: u64,
+    /// Span ID of the coordinator's `cluster.forward` span; worker-side
+    /// root spans link to it as their parent.
+    pub parent: u64,
+}
 
 /// One protocol message, either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +74,9 @@ pub enum Msg {
     Run {
         /// The `RunRequest` spec as JSON text.
         spec_json: String,
+        /// Distributed trace context (version 2+). `None` from a
+        /// version-1 peer — worker spans then start a local root.
+        trace: Option<TraceCtx>,
     },
     /// Worker → coordinator: the spec's figure payload.
     RunOk {
@@ -85,6 +118,20 @@ pub enum Msg {
         /// The worker's self-reported identity.
         worker_id: String,
     },
+    /// Coordinator → worker: export your span ring (version 2+), for
+    /// `GET /trace?federated=1` federation.
+    Trace,
+    /// Worker → coordinator: the span ring snapshot (version 2+).
+    TraceOk {
+        /// The worker's self-reported identity (its bound address).
+        worker_id: String,
+        /// Spans evicted from the ring since the worker started — a
+        /// non-zero count means the JSONL window is incomplete.
+        dropped: u64,
+        /// The retained span window as JSON lines, oldest first (the
+        /// same bytes the worker's ring would export).
+        jsonl: String,
+    },
 }
 
 impl Msg {
@@ -99,6 +146,8 @@ impl Msg {
             Msg::StatsOk { .. } => 7,
             Msg::Drain => 8,
             Msg::DrainOk { .. } => 9,
+            Msg::Trace => 10,
+            Msg::TraceOk { .. } => 11,
         }
     }
 }
@@ -114,7 +163,8 @@ pub enum WireError {
     Truncated,
     /// The first four bytes are not [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The peer speaks a different protocol version.
+    /// The peer speaks a protocol version outside
+    /// [`MIN_VERSION`]`..=`[`VERSION`].
     VersionMismatch {
         /// The version the frame declared.
         got: u16,
@@ -144,7 +194,8 @@ impl fmt::Display for WireError {
             WireError::VersionMismatch { got } => {
                 write!(
                     f,
-                    "protocol version mismatch: peer speaks {got}, this build speaks {VERSION}"
+                    "protocol version mismatch: peer speaks {got}, this build accepts \
+                     {MIN_VERSION}..={VERSION}"
                 )
             }
             WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
@@ -218,6 +269,10 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.pos == self.bytes.len() {
             Ok(())
@@ -227,10 +282,24 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn encode_payload(msg: &Msg) -> Vec<u8> {
+fn encode_payload(msg: &Msg, version: u16) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
-        Msg::Run { spec_json } => put_str(&mut out, spec_json),
+        Msg::Run { spec_json, trace } => {
+            put_str(&mut out, spec_json);
+            // A version-1 payload is the bare spec: the trace context is
+            // dropped, exactly what an old coordinator would have sent.
+            if version >= 2 {
+                match trace {
+                    Some(ctx) => {
+                        out.push(1);
+                        out.extend_from_slice(&ctx.request.to_le_bytes());
+                        out.extend_from_slice(&ctx.parent.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
         Msg::RunOk { cache, spec_hash, body } => {
             put_str(&mut out, cache);
             put_str(&mut out, spec_hash);
@@ -253,6 +322,12 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
             }
         }
         Msg::DrainOk { worker_id } => put_str(&mut out, worker_id),
+        Msg::Trace => {}
+        Msg::TraceOk { worker_id, dropped, jsonl } => {
+            put_str(&mut out, worker_id);
+            out.extend_from_slice(&dropped.to_le_bytes());
+            put_str(&mut out, jsonl);
+        }
     }
     out
 }
@@ -260,7 +335,22 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
 fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     let msg = match kind {
-        1 => Msg::Run { spec_json: r.string()? },
+        1 => {
+            let spec_json = r.string()?;
+            // Version 1 ends here; version 2 appends a presence flag and
+            // the trace IDs. Decoding by remaining bytes (rather than the
+            // header version) keeps one tolerant reader for both.
+            let trace = if r.remaining() == 0 {
+                None
+            } else {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(TraceCtx { request: r.u64()?, parent: r.u64()? }),
+                    _ => return Err(WireError::Malformed("trace presence flag is not 0/1")),
+                }
+            };
+            Msg::Run { spec_json, trace }
+        }
         2 => Msg::RunOk { cache: r.string()?, spec_hash: r.string()?, body: r.string()? },
         3 => Msg::RunErr { status: r.u16()?, message: r.string()? },
         4 => Msg::Health,
@@ -290,18 +380,34 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
         }
         8 => Msg::Drain,
         9 => Msg::DrainOk { worker_id: r.string()? },
+        10 => Msg::Trace,
+        11 => Msg::TraceOk { worker_id: r.string()?, dropped: r.u64()?, jsonl: r.string()? },
         other => return Err(WireError::UnknownKind(other)),
     };
     r.finish()?;
     Ok(msg)
 }
 
-/// Encodes `msg` as one complete frame (header + payload).
+/// Encodes `msg` as one complete frame (header + payload) at [`VERSION`].
 pub fn encode(msg: &Msg) -> Vec<u8> {
-    let payload = encode_payload(msg);
+    encode_versioned(msg, VERSION)
+}
+
+/// Encodes `msg` as one frame declaring (and encoding the payload at)
+/// `version`, clamped to `MIN_VERSION..=VERSION`. Kinds introduced after
+/// `MIN_VERSION` (`Trace`/`TraceOk`) always encode at the version that
+/// introduced them. This is how the property suite impersonates an old
+/// peer: a version-1 `Run` frame carries no trace suffix and must decode
+/// to `trace: None` on a current build.
+pub fn encode_versioned(msg: &Msg, version: u16) -> Vec<u8> {
+    let mut version = version.clamp(MIN_VERSION, VERSION);
+    if matches!(msg, Msg::Trace | Msg::TraceOk { .. }) {
+        version = version.max(2);
+    }
+    let payload = encode_payload(msg, version);
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
-    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&version.to_le_bytes());
     frame.push(msg.kind());
     frame.push(0);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -318,7 +424,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize, u32), WireError
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::VersionMismatch { got: version });
     }
     let kind = header[6];
@@ -406,7 +512,11 @@ mod tests {
     #[test]
     fn frames_round_trip_over_a_stream() {
         let messages = [
-            Msg::Run { spec_json: r#"{"experiment":"fig4"}"#.to_string() },
+            Msg::Run { spec_json: r#"{"experiment":"fig4"}"#.to_string(), trace: None },
+            Msg::Run {
+                spec_json: r#"{"experiment":"fig4"}"#.to_string(),
+                trace: Some(TraceCtx { request: 42, parent: 7 }),
+            },
             Msg::RunOk {
                 cache: "miss".to_string(),
                 spec_hash: "ab".repeat(32),
@@ -419,6 +529,12 @@ mod tests {
             Msg::StatsOk { pairs: vec![("worker.served".to_string(), 7)] },
             Msg::Drain,
             Msg::DrainOk { worker_id: "127.0.0.1:9101".to_string() },
+            Msg::Trace,
+            Msg::TraceOk {
+                worker_id: "127.0.0.1:9101".to_string(),
+                dropped: 3,
+                jsonl: "{\"request\":1}\n".to_string(),
+            },
         ];
         let mut wire = Vec::new();
         for msg in &messages {
@@ -446,7 +562,7 @@ mod tests {
         unknown[6] = 200;
         assert!(matches!(decode(&unknown), Err(WireError::UnknownKind(200))));
 
-        let body = encode(&Msg::Run { spec_json: "{}".to_string() });
+        let body = encode(&Msg::Run { spec_json: "{}".to_string(), trace: None });
         let mut flipped = body.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0x40;
@@ -463,5 +579,47 @@ mod tests {
         assert!(matches!(decode(&frame), Err(WireError::TooLarge(_))));
         let mut stream = &frame[..];
         assert!(matches!(read_msg(&mut stream), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn version_1_run_frames_degrade_to_an_unlinked_trace() {
+        // An old coordinator (or a new one impersonating it) encodes the
+        // bare spec. A current build must decode it — trace None, never
+        // an error: that is the rolling-upgrade contract.
+        let msg = Msg::Run {
+            spec_json: r#"{"experiment":"fig4"}"#.to_string(),
+            trace: Some(TraceCtx { request: 9, parent: 4 }),
+        };
+        let v1 = encode_versioned(&msg, 1);
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), 1, "header declares version 1");
+        match decode(&v1).expect("a v1 frame decodes on a v2 build") {
+            Msg::Run { spec_json, trace } => {
+                assert_eq!(spec_json, r#"{"experiment":"fig4"}"#);
+                assert_eq!(trace, None, "the trace context is dropped, not misparsed");
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_frames_always_declare_version_2() {
+        let frame = encode_versioned(&Msg::Trace, 1);
+        assert_eq!(u16::from_le_bytes([frame[4], frame[5]]), 2);
+        assert!(matches!(decode(&frame), Ok(Msg::Trace)));
+    }
+
+    #[test]
+    fn corrupt_trace_presence_flag_is_malformed() {
+        let msg = Msg::Run {
+            spec_json: "{}".to_string(),
+            trace: Some(TraceCtx { request: 1, parent: 2 }),
+        };
+        let payload_flag_offset = HEADER_LEN + 4 + 2; // str len + "{}"
+        let mut frame = encode(&msg);
+        frame[payload_flag_offset] = 7;
+        // Fix the checksum so the flag itself is what the decoder sees.
+        let digest = sha256(&frame[HEADER_LEN..]);
+        frame[12..16].copy_from_slice(&digest[..4]);
+        assert!(matches!(decode(&frame), Err(WireError::Malformed(_))));
     }
 }

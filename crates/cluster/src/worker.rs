@@ -18,7 +18,7 @@
 //! crashed process would.
 
 use std::collections::BTreeMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,7 +31,7 @@ use hbc_serve::spans::ServeSpans;
 use hbc_serve::spec::RunRequest;
 
 use crate::lock;
-use crate::wire::{self, Msg, WireError};
+use crate::wire::{self, Msg, TraceCtx, WireError};
 
 /// Worker construction parameters.
 #[derive(Debug, Clone)]
@@ -130,11 +130,16 @@ impl Worker {
             Some(dir) => ResultCache::new(dir.clone(), config.cache_entries),
             None => ResultCache::in_memory(config.cache_entries),
         };
+        // Span/request IDs are namespaced by the bound port so a
+        // federated trace merge (coordinator ring + every worker ring)
+        // never sees two processes allocate the same ID. Coordinator IDs
+        // stay small (base 0); worker IDs live above port << 32.
+        let span_id_base = u64::from(addr.port()) << 32;
         let shared = Arc::new(WorkerShared {
             addr,
             max_jobs: config.max_jobs,
             cache,
-            spans: ServeSpans::new(config.span_capacity),
+            spans: ServeSpans::with_id_base(config.span_capacity, span_id_base),
             counters: Counters::default(),
             draining: AtomicBool::new(false),
             conns: Mutex::new(BTreeMap::new()),
@@ -262,12 +267,46 @@ fn serve_conn(shared: &Arc<WorkerShared>, mut stream: TcpStream) {
             }
         };
         let reply = match msg {
-            Msg::Run { spec_json } => handle_run(shared, &spec_json),
+            Msg::Run { spec_json, trace } => {
+                let (reply, rt) = handle_run(shared, &spec_json, trace);
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                // Encode (the serialize span) and close out the request's
+                // root span *before* the socket write, so a `Trace` frame
+                // sent the instant the reply lands can never observe a
+                // ring missing this request's spans.
+                let serialize_start_us = shared.spans.now_us();
+                let frame = wire::encode(&reply);
+                let end_us = shared.spans.now_us();
+                shared.spans.record_at(
+                    "serve.serialize",
+                    rt.request,
+                    rt.exec_span,
+                    serialize_start_us,
+                    end_us,
+                );
+                shared.spans.record_linked(
+                    "cluster.worker_execute",
+                    rt.exec_span,
+                    rt.request,
+                    rt.parent,
+                    rt.start_us,
+                    end_us,
+                );
+                if stream.write_all(&frame).is_err() || shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
             Msg::Health => Msg::HealthOk {
                 worker_id: shared.worker_id(),
                 draining: shared.draining.load(Ordering::SeqCst),
             },
             Msg::Stats => Msg::StatsOk { pairs: stats_pairs(shared) },
+            Msg::Trace => Msg::TraceOk {
+                worker_id: shared.worker_id(),
+                dropped: shared.spans.log().dropped(),
+                jsonl: shared.spans.to_jsonl(),
+            },
             Msg::Drain => {
                 initiate_drain(shared);
                 Msg::DrainOk { worker_id: shared.worker_id() }
@@ -277,7 +316,8 @@ fn serve_conn(shared: &Arc<WorkerShared>, mut stream: TcpStream) {
             | Msg::RunErr { .. }
             | Msg::HealthOk { .. }
             | Msg::StatsOk { .. }
-            | Msg::DrainOk { .. } => {
+            | Msg::DrainOk { .. }
+            | Msg::TraceOk { .. } => {
                 Msg::RunErr { status: 400, message: "unexpected reply kind".to_string() }
             }
         };
@@ -291,10 +331,42 @@ fn serve_conn(shared: &Arc<WorkerShared>, mut stream: TcpStream) {
     }
 }
 
+/// Where one `Run` frame's spans attach: the (possibly remote) request
+/// ID, the parent span named by the coordinator's trace context (0 when
+/// the frame carried none), and the pre-allocated root span covering the
+/// whole handling, closed out by `serve_conn` after the reply encodes.
+struct RunTrace {
+    request: u64,
+    parent: u64,
+    exec_span: u64,
+    start_us: u64,
+}
+
 /// Executes (or replays) one spec; the body answered is byte-identical
-/// to a direct `hbc-serve` hit for the same spec.
-fn handle_run(shared: &Arc<WorkerShared>, spec_json: &str) -> Msg {
-    let request_id = shared.spans.begin_request();
+/// to a direct `hbc-serve` hit for the same spec. When the frame carried
+/// a trace context, every span joins the coordinator's request ID and
+/// hangs (via `exec_span`) under its `cluster.forward` span; otherwise
+/// the worker allocates a fresh local root.
+fn handle_run(
+    shared: &Arc<WorkerShared>,
+    spec_json: &str,
+    trace: Option<TraceCtx>,
+) -> (Msg, RunTrace) {
+    let (request, parent) = match trace {
+        Some(ctx) => (ctx.request, ctx.parent),
+        None => (shared.spans.begin_request(), 0),
+    };
+    let rt = RunTrace {
+        request,
+        parent,
+        exec_span: shared.spans.alloc_span(),
+        start_us: shared.spans.now_us(),
+    };
+    let reply = handle_run_inner(shared, spec_json, &rt);
+    (reply, rt)
+}
+
+fn handle_run_inner(shared: &Arc<WorkerShared>, spec_json: &str, rt: &RunTrace) -> Msg {
     let mut run = match RunRequest::from_json_text(spec_json) {
         Ok(run) => run,
         Err(err) => return Msg::RunErr { status: 400, message: err.to_string() },
@@ -309,8 +381,8 @@ fn handle_run(shared: &Arc<WorkerShared>, spec_json: &str) -> Msg {
     let cached = shared.cache.get(&hash, &canonical);
     shared.spans.record_at(
         "serve.cache_lookup",
-        request_id,
-        0,
+        rt.request,
+        rt.exec_span,
         lookup_start_us,
         shared.spans.now_us(),
     );
@@ -325,13 +397,13 @@ fn handle_run(shared: &Arc<WorkerShared>, spec_json: &str) -> Msg {
 
     shared.counters.misses.fetch_add(1, Ordering::Relaxed);
     shared.counters.executed.fetch_add(1, Ordering::Relaxed);
-    let execute_start_us = shared.spans.now_us();
+    let simulate_start_us = shared.spans.now_us();
     let result = catch_unwind(AssertUnwindSafe(|| run.execute()));
     shared.spans.record_at(
-        "cluster.worker_execute",
-        request_id,
-        0,
-        execute_start_us,
+        "serve.simulate",
+        rt.request,
+        rt.exec_span,
+        simulate_start_us,
         shared.spans.now_us(),
     );
     match result {
@@ -420,14 +492,14 @@ mod tests {
         let addr = worker.addr();
         let spec = r#"{"experiment":"table2","preset":"fast","seed":3}"#;
         let expected = RunRequest::from_json_text(spec).expect("spec parses").execute();
-        match roundtrip(addr, &Msg::Run { spec_json: spec.to_string() }) {
+        match roundtrip(addr, &Msg::Run { spec_json: spec.to_string(), trace: None }) {
             Msg::RunOk { cache, body, .. } => {
                 assert_eq!(cache, "miss");
                 assert_eq!(body, expected, "wire payload must be byte-identical");
             }
             other => panic!("expected RunOk, got {other:?}"),
         }
-        match roundtrip(addr, &Msg::Run { spec_json: spec.to_string() }) {
+        match roundtrip(addr, &Msg::Run { spec_json: spec.to_string(), trace: None }) {
             Msg::RunOk { cache, body, .. } => {
                 assert_eq!(cache, "hit-memory");
                 assert_eq!(body, expected);
@@ -443,12 +515,79 @@ mod tests {
     fn bad_spec_is_a_400_not_a_dead_worker() {
         let worker = test_worker();
         let addr = worker.addr();
-        match roundtrip(addr, &Msg::Run { spec_json: "not json".to_string() }) {
+        match roundtrip(addr, &Msg::Run { spec_json: "not json".to_string(), trace: None }) {
             Msg::RunErr { status, .. } => assert_eq!(status, 400),
             other => panic!("expected RunErr, got {other:?}"),
         }
         // Still alive and serving.
         assert!(matches!(roundtrip(addr, &Msg::Health), Msg::HealthOk { .. }));
+        worker.handle().drain();
+        worker.join();
+    }
+
+    /// Pulls the worker's span ring and returns its JSONL body.
+    fn fetch_trace(addr: SocketAddr) -> String {
+        match roundtrip(addr, &Msg::Trace) {
+            Msg::TraceOk { worker_id, jsonl, .. } => {
+                assert_eq!(worker_id, addr.to_string());
+                jsonl
+            }
+            other => panic!("expected TraceOk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_context_re_parents_worker_spans() {
+        let worker = test_worker();
+        let addr = worker.addr();
+        let spec = r#"{"experiment":"table2","preset":"fast","seed":4}"#;
+        let trace = Some(TraceCtx { request: 7, parent: 42 });
+        let run = Msg::Run { spec_json: spec.to_string(), trace };
+        assert!(matches!(roundtrip(addr, &run), Msg::RunOk { .. }));
+
+        let jsonl = fetch_trace(addr);
+        let root = jsonl
+            .lines()
+            .find(|l| l.contains("cluster.worker_execute"))
+            .expect("a worker_execute root span");
+        assert!(root.contains("\"request\":7"), "root must join the remote request: {root}");
+        assert!(root.contains("\"parent\":42"), "root must hang under the forward span: {root}");
+        for line in jsonl.lines() {
+            assert!(line.contains("\"request\":7"), "unlinked span: {line}");
+        }
+        // The root's own ID is port-namespaced, and the child stages
+        // (cache lookup, simulate, serialize) all parent on it.
+        let exec_span: u64 = root
+            .split("\"span\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|id| id.parse().ok())
+            .expect("root span ID");
+        assert!(exec_span > u64::from(addr.port()) << 32, "span IDs must be port-namespaced");
+        for stage in ["serve.cache_lookup", "serve.simulate", "serve.serialize"] {
+            let line = jsonl.lines().find(|l| l.contains(stage)).expect(stage);
+            assert!(line.contains(&format!("\"parent\":{exec_span}")), "detached child: {line}");
+        }
+        worker.handle().drain();
+        worker.join();
+    }
+
+    #[test]
+    fn untraced_run_allocates_a_local_root() {
+        let worker = test_worker();
+        let addr = worker.addr();
+        let spec = r#"{"experiment":"table2","preset":"fast","seed":5}"#;
+        let run = Msg::Run { spec_json: spec.to_string(), trace: None };
+        assert!(matches!(roundtrip(addr, &run), Msg::RunOk { .. }));
+
+        let jsonl = fetch_trace(addr);
+        let root = jsonl
+            .lines()
+            .find(|l| l.contains("cluster.worker_execute"))
+            .expect("a worker_execute root span");
+        let local_root = (u64::from(addr.port()) << 32) + 1;
+        assert!(root.contains(&format!("\"request\":{local_root}")), "{root}");
+        assert!(root.contains("\"parent\":0"), "an untraced run is its own root: {root}");
         worker.handle().drain();
         worker.join();
     }

@@ -178,6 +178,97 @@ fn killed_primary_fails_over_byte_identically() {
 }
 
 #[test]
+fn federated_trace_stitches_a_failover_into_one_tree() {
+    let w1 = test_worker();
+    let w2 = test_worker();
+    let coordinator = test_coordinator(&[&w1, &w2]);
+    let addr = coordinator.addr();
+    let names = vec![w1.addr().to_string(), w2.addr().to_string()];
+
+    // Kill the spec's rendezvous primary *before* the request: the
+    // coordinator still plans it first (the prober hasn't demoted it
+    // yet), so one request carries a failed forward and a failover
+    // retry — two `cluster.forward` spans under one request ID.
+    let spec = mixed_request(11, 0);
+    let order = ring::candidates(&spec.spec_hash(), &names);
+    let (victim, survivor) = if order[0] == 0 { (&w1, &w2) } else { (&w2, &w1) };
+    let survivor_port = u64::from(survivor.addr().port());
+    victim.handle().kill();
+
+    let response = http().post(addr, "/run", spec.to_json().as_bytes()).expect("request completes");
+    assert_eq!(response.status, 200, "failover must succeed: {}", response.text());
+    assert_eq!(response.header("X-Worker"), Some(survivor.addr().to_string().as_str()));
+
+    // Wait for the prober to demote the dead worker so the federation
+    // pass deterministically polls only the survivor.
+    let victim_name = victim.addr().to_string();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while coordinator
+        .handle()
+        .worker_health()
+        .iter()
+        .any(|(name, healthy)| *name == victim_name && *healthy)
+    {
+        assert!(Instant::now() < deadline, "prober never demoted the killed worker");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let fetched = http().get(addr, "/trace?federated=1").expect("federated trace fetch");
+    assert_eq!(fetched.status, 200);
+    let set =
+        hbc_trace::TraceSet::parse_jsonl(fetched.text().as_ref()).expect("federated stream parses");
+    let report = hbc_trace::analyze(&set);
+
+    // Both processes contributed a source, and no ring dropped spans.
+    assert!(
+        report.sources.iter().any(|s| s.node == "coordinator"),
+        "coordinator source missing: {:?}",
+        report.sources
+    );
+    assert!(
+        report.sources.iter().any(|s| s.node == survivor.addr().to_string()),
+        "survivor source missing: {:?}",
+        report.sources
+    );
+    assert!(report.anomalies.dropped_sources.is_empty());
+
+    // The failover request is one stitched tree: two forward attempts,
+    // worker-side spans under the coordinator's request ID, no orphans.
+    assert!(
+        report.anomalies.orphans.is_empty(),
+        "every span must link into its tree: {:?}",
+        report.anomalies.orphans
+    );
+    assert_eq!(report.anomalies.failover_requests.len(), 1, "{report:?}");
+    let failover_request = report.anomalies.failover_requests[0];
+    let summary = report
+        .requests
+        .iter()
+        .find(|r| r.request == failover_request)
+        .expect("failover request is summarized");
+    assert!(summary.forwards >= 2, "both forward attempts must be spans: {summary:?}");
+    assert_eq!(summary.orphans, 0);
+    let worker_base = survivor_port << 32;
+    let cross_process = set.spans.iter().any(|s| {
+        s.request == failover_request && s.stage == "cluster.worker_execute" && s.span > worker_base
+    });
+    assert!(cross_process, "the survivor's execute span must carry the coordinator's request ID");
+    // The worker did real work for this request, so the simulation (or
+    // its cache path) dominates somewhere in the stitched tree.
+    assert!(
+        set.spans.iter().any(|s| s.request == failover_request && s.stage == "serve.simulate"),
+        "worker-side child spans must ride along in the federation"
+    );
+
+    shutdown(&coordinator.handle(), addr);
+    coordinator.join();
+    survivor.handle().drain();
+    for worker in [w1, w2] {
+        worker.join();
+    }
+}
+
+#[test]
 fn coordinator_drain_finishes_in_flight_and_refuses_new() {
     let worker = test_worker();
     let coordinator = test_coordinator(&[&worker]);

@@ -6,7 +6,7 @@
 //! `BadChecksum`; every version skew is `VersionMismatch`; and no input
 //! — structured or garbage — ever panics the decoder.
 
-use hbc_cluster::wire::{self, Msg, WireError, HEADER_LEN, VERSION};
+use hbc_cluster::wire::{self, Msg, TraceCtx, WireError, HEADER_LEN, MIN_VERSION, VERSION};
 use hbc_ptest::{check, Gen};
 
 /// A random string mixing ASCII, JSON punctuation, and multibyte UTF-8.
@@ -21,10 +21,19 @@ fn random_string(g: &mut Gen, max_len: usize) -> String {
     s
 }
 
+/// A random trace context (absent half the time, like untraced peers).
+fn random_trace(g: &mut Gen) -> Option<TraceCtx> {
+    if g.bool() {
+        Some(TraceCtx { request: g.next_u64(), parent: g.next_u64() })
+    } else {
+        None
+    }
+}
+
 /// A random message covering every frame kind.
 fn random_msg(g: &mut Gen) -> Msg {
-    match g.u32_in(1, 9) {
-        1 => Msg::Run { spec_json: random_string(g, 64) },
+    match g.u32_in(1, 11) {
+        1 => Msg::Run { spec_json: random_string(g, 64), trace: random_trace(g) },
         2 => Msg::RunOk {
             cache: random_string(g, 12),
             spec_hash: random_string(g, 64),
@@ -43,7 +52,13 @@ fn random_msg(g: &mut Gen) -> Msg {
             Msg::StatsOk { pairs }
         }
         8 => Msg::Drain,
-        _ => Msg::DrainOk { worker_id: random_string(g, 24) },
+        9 => Msg::DrainOk { worker_id: random_string(g, 24) },
+        10 => Msg::Trace,
+        _ => Msg::TraceOk {
+            worker_id: random_string(g, 24),
+            dropped: g.next_u64(),
+            jsonl: random_string(g, 256),
+        },
     }
 }
 
@@ -123,13 +138,30 @@ fn version_skew_is_a_typed_mismatch() {
     check("wire.version", 200, |g| {
         let mut frame = wire::encode(&random_msg(g));
         let mut skewed = VERSION;
-        while skewed == VERSION {
+        while (MIN_VERSION..=VERSION).contains(&skewed) {
             skewed = (g.next_u64() & 0xffff) as u16;
         }
         frame[4..6].copy_from_slice(&skewed.to_le_bytes());
         match wire::decode(&frame) {
             Err(WireError::VersionMismatch { got }) => assert_eq!(got, skewed),
             other => panic!("version {skewed} decoded to {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn version_1_peers_degrade_to_unlinked_run_frames() {
+    check("wire.v1_degrade", 300, |g| {
+        let spec_json = random_string(g, 64);
+        let msg = Msg::Run { spec_json: spec_json.clone(), trace: random_trace(g) };
+        // A new coordinator talking to an old worker encodes at the
+        // peer's version: the trace context is dropped on the wire, and
+        // decoding yields an unlinked Run — never an error.
+        let frame = wire::encode_versioned(&msg, 1);
+        assert_eq!(frame[4..6], 1u16.to_le_bytes(), "the header declares the old version");
+        match wire::decode(&frame) {
+            Ok(Msg::Run { spec_json: got, trace: None }) => assert_eq!(got, spec_json),
+            other => panic!("a v1 Run frame decoded to {other:?}"),
         }
     });
 }

@@ -153,6 +153,18 @@ fn ring_lock(ring: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
 impl SpanLog {
     /// A log retaining the last `capacity` spans.
     pub fn new(capacity: usize) -> Self {
+        SpanLog::with_id_base(capacity, 0)
+    }
+
+    /// A log whose request/span IDs are allocated from `base + 1`
+    /// upward instead of `1`.
+    ///
+    /// Distributed tracing merges span streams from several processes
+    /// into one causal tree; giving each process a disjoint ID namespace
+    /// (e.g. `(port as u64) << 32` on a cluster worker) keeps merged IDs
+    /// collision-free without any cross-process coordination. `base`
+    /// itself is never allocated, so 0 stays the "no parent" sentinel.
+    pub fn with_id_base(capacity: usize, base: u64) -> Self {
         SpanLog {
             capacity,
             // hbc-allow: exec-merge (span ring holds observability metadata, not simulation results; sim output never reads it)
@@ -160,8 +172,8 @@ impl SpanLog {
                 records: VecDeque::with_capacity(capacity.min(4096)),
                 dropped: 0,
             }),
-            next_request: AtomicU64::new(1),
-            next_span: AtomicU64::new(1),
+            next_request: AtomicU64::new(base + 1),
+            next_span: AtomicU64::new(base + 1),
         }
     }
 
@@ -260,6 +272,18 @@ mod tests {
         assert!(a > 0 && b > 0 && s1 > 0 && s2 > 0);
         assert_ne!(a, b);
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn id_base_offsets_both_counters() {
+        let base = 9101u64 << 32;
+        let log = SpanLog::with_id_base(4, base);
+        assert_eq!(log.next_request_id(), base + 1);
+        assert_eq!(log.next_span_id(), base + 1);
+        assert_eq!(log.next_span_id(), base + 2);
+        // The default namespace can never collide with a based one.
+        let plain = SpanLog::new(4);
+        assert!(plain.next_span_id() < base);
     }
 
     #[test]

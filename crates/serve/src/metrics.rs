@@ -25,7 +25,7 @@
 //! m.cache_hits_memory.inc();
 //! let json = m.to_registry().to_json();
 //! assert!(json.contains("\"serve.cache.hits.memory\":1"));
-//! let text = m.to_prometheus(0, &Default::default());
+//! let text = m.to_prometheus(0, 0, &Default::default());
 //! assert!(text.contains("serve_http_requests_total 1"));
 //! ```
 
@@ -139,11 +139,13 @@ impl Metrics {
     /// p50/p95/p99 `quantile` labels, `_sum`, and `_count`) for the
     /// end-to-end latency and for each span stage in `stages`.
     ///
-    /// `cache_evictions` comes from the result cache, which owns that
-    /// count; `stages` from [`crate::spans::ServeSpans::stage_histograms`].
+    /// `cache_evictions` comes from the result cache and `span_dropped`
+    /// from the span ring's drop accounting — both own their
+    /// counts; `stages` from [`crate::spans::ServeSpans::stage_histograms`].
     pub fn to_prometheus(
         &self,
         cache_evictions: u64,
+        span_dropped: u64,
         stages: &BTreeMap<&'static str, Histogram>,
     ) -> String {
         use std::fmt::Write as _;
@@ -219,6 +221,14 @@ impl Metrics {
         let _ = writeln!(out, "serve_queue_depth {}", self.queue_depth.load(Ordering::Relaxed));
         family(&mut out, "serve_queue_peak", "gauge", "High-water mark of the admission queue.");
         let _ = writeln!(out, "serve_queue_peak {}", self.queue_peak.load(Ordering::Relaxed));
+
+        family(
+            &mut out,
+            "hbc_span_dropped_total",
+            "counter",
+            "Spans evicted from the bounded ring before export (a nonzero value means GET /trace is truncated).",
+        );
+        let _ = writeln!(out, "hbc_span_dropped_total {span_dropped}");
 
         // `labels` is either empty or a rendered `key="value"` pair to
         // prepend before the quantile label.
@@ -423,11 +433,12 @@ mod tests {
         h.record(900);
         stages.insert("serve.parse", h);
 
-        let text = m.to_prometheus(3, &stages);
+        let text = m.to_prometheus(3, 2, &stages);
         let samples = parse_prometheus(&text).expect("body parses");
         let find = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
         assert_eq!(find("serve_http_requests_total"), Some(1.0));
         assert_eq!(find("serve_cache_evictions_total"), Some(3.0));
+        assert_eq!(find("hbc_span_dropped_total"), Some(2.0));
         assert_eq!(find("serve_queue_depth"), Some(1.0));
         assert_eq!(find("serve_latency_microseconds_count"), Some(1.0));
         let ok = samples

@@ -425,9 +425,11 @@ fn handle_conn(shared: &Arc<Shared>, conn: QueuedConn) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/run") => handle_run(shared, &mut stream, ctx, deadline, &request),
         ("GET", "/metrics") => {
-            let body = shared
-                .metrics
-                .to_prometheus(shared.cache.evictions(), &shared.spans.stage_histograms());
+            let body = shared.metrics.to_prometheus(
+                shared.cache.evictions(),
+                shared.spans.log().dropped(),
+                &shared.spans.stage_histograms(),
+            );
             let ct = "text/plain; version=0.0.4";
             respond(shared, &mut stream, ctx, 200, ct, &[], body.as_bytes());
         }

@@ -49,8 +49,16 @@ pub struct ServeSpans {
 impl ServeSpans {
     /// A sink retaining the most recent `capacity` spans.
     pub fn new(capacity: usize) -> Self {
+        ServeSpans::with_id_base(capacity, 0)
+    }
+
+    /// A sink whose request/span IDs start above `base` (see
+    /// [`SpanLog::with_id_base`]). Cluster workers use their bound port
+    /// shifted into the high bits, so a federated trace merge never sees
+    /// two processes allocate the same span ID.
+    pub fn with_id_base(capacity: usize, base: u64) -> Self {
         ServeSpans {
-            log: SpanLog::new(capacity),
+            log: SpanLog::with_id_base(capacity, base),
             origin: Instant::now(),
             stages: Mutex::new(BTreeMap::new()),
         }
@@ -80,10 +88,34 @@ impl ServeSpans {
         end_us: u64,
     ) -> u64 {
         let span = self.log.next_span_id();
+        self.record_linked(stage, span, request, parent, start_us, end_us);
+        span
+    }
+
+    /// Allocates a span ID *before* its span completes, so the ID can be
+    /// sent to another process as a parent link (the wire trace context)
+    /// while the span is still open. Pair with
+    /// [`record_linked`](Self::record_linked) once the span ends.
+    pub fn alloc_span(&self) -> u64 {
+        self.log.next_span_id()
+    }
+
+    /// Records a completed span under a pre-allocated ID from
+    /// [`alloc_span`](Self::alloc_span). The stage literal is checked
+    /// against `STAGE_NAMES` exactly like [`record_at`](Self::record_at)
+    /// (both by the debug assert and by the `probe-coverage` lint).
+    pub fn record_linked(
+        &self,
+        stage: &'static str,
+        span: u64,
+        request: u64,
+        parent: u64,
+        start_us: u64,
+        end_us: u64,
+    ) {
         let dur_us = end_us.saturating_sub(start_us);
         self.log.record(SpanRecord { request, span, parent, stage, start_us, dur_us });
         lock(&self.stages).entry(stage).or_default().record(dur_us);
-        span
     }
 
     /// The retained span window as JSON lines, oldest first (the
@@ -124,6 +156,30 @@ mod tests {
         let stages = spans.stage_histograms();
         assert_eq!(stages["serve.parse"].count(), 1);
         assert_eq!(stages["serve.parse"].max(), 240);
+    }
+
+    #[test]
+    fn pre_allocated_spans_record_under_their_id() {
+        let spans = ServeSpans::new(16);
+        let request = spans.begin_request();
+        // The forward-span pattern: allocate, ship the ID elsewhere as a
+        // parent link, record when the exchange completes.
+        let forward = spans.alloc_span();
+        spans.record_at("serve.simulate", request, forward, 20, 30);
+        spans.record_linked("cluster.forward", forward, request, 0, 10, 50);
+        let records = spans.log().snapshot();
+        assert_eq!(records[0].parent, forward, "child linked before the parent records");
+        assert_eq!(records[1].span, forward);
+        assert_eq!(records[1].dur_us, 40);
+        assert_eq!(spans.stage_histograms()["cluster.forward"].count(), 1);
+    }
+
+    #[test]
+    fn id_base_namespaces_span_ids() {
+        let base = 9102u64 << 32;
+        let spans = ServeSpans::with_id_base(4, base);
+        assert_eq!(spans.begin_request(), base + 1);
+        assert_eq!(spans.alloc_span(), base + 1);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! `hbc-trace`: causal analysis over span JSONL exports.
+//!
+//! ```text
+//! hbc-trace [FILE …] [--addr URL] [--format text|json]
+//!           [--out PATH] [--save-jsonl PATH]
+//! ```
+//!
+//! Inputs compose: every `FILE` is a span JSONL export (a saved
+//! `GET /trace` or `GET /trace?federated=1` body), and `--addr` fetches a
+//! live federated trace from a coordinator on top. At least one input is
+//! required. The merged set is analyzed into per-request causal trees,
+//! critical-path attribution, per-stage p50/p95/p99, and anomalies
+//! (orphan spans, failover retries, drop gaps).
+//!
+//! `--format text` (default) prints the human report; `--format json`
+//! prints the stable schema-stamped JSON. `--out` writes the report to a
+//! file instead of standard output; `--save-jsonl` saves the fetched
+//! federated stream (CI keeps it as an artifact).
+
+use std::time::Duration;
+
+use hbc_serve::client::{parse_addr, HttpClient};
+use hbc_trace::{analyze, TraceSet};
+
+fn main() {
+    let mut files: Vec<String> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut out: Option<String> = None;
+    let mut save_jsonl: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--format" => {
+                format = value("--format");
+                if format != "text" && format != "json" {
+                    usage("--format must be `text` or `json`");
+                }
+            }
+            "--out" => out = Some(value("--out")),
+            "--save-jsonl" => save_jsonl = Some(value("--save-jsonl")),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag `{flag}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() && addr.is_none() {
+        usage("at least one FILE or --addr is required");
+    }
+
+    let mut set = TraceSet::default();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+        set.extend_from_jsonl(&text).unwrap_or_else(|e| fail(&format!("{file}: {e}")));
+    }
+    if let Some(addr) = &addr {
+        let jsonl = fetch_federated(addr);
+        if let Some(path) = &save_jsonl {
+            std::fs::write(path, &jsonl)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        }
+        set.extend_from_jsonl(&jsonl).unwrap_or_else(|e| fail(&format!("{addr}: {e}")));
+    } else if save_jsonl.is_some() {
+        usage("--save-jsonl only makes sense with --addr");
+    }
+
+    let report = analyze(&set);
+    let rendered = if format == "json" { report.to_json() } else { report.to_text() };
+    match &out {
+        Some(path) => std::fs::write(path, &rendered)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => print!("{rendered}"),
+    }
+}
+
+/// Fetches `GET /trace?federated=1` from a coordinator.
+fn fetch_federated(addr: &str) -> String {
+    let socket = parse_addr(addr).unwrap_or_else(|e| fail(&e));
+    let client = HttpClient::new(Duration::from_secs(30));
+    let response = client
+        .get(socket, "/trace?federated=1")
+        .unwrap_or_else(|e| fail(&format!("fetching trace from {addr}: {e}")));
+    if response.status != 200 {
+        fail(&format!("{addr} answered {} to GET /trace?federated=1", response.status));
+    }
+    String::from_utf8(response.body)
+        .unwrap_or_else(|_| fail(&format!("{addr} answered a non-UTF-8 trace body")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: hbc-trace [FILE ...] [--addr URL] [--format text|json] \
+         [--out PATH] [--save-jsonl PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
